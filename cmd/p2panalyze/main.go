@@ -1,0 +1,53 @@
+// Command p2panalyze reads a measurement trace and prints every table and
+// figure of the evaluation: data summary (T1), prevalence (T2), top
+// malware (T3), concentration curve (F1), sources (T4), host
+// concentration (F2), temporal series (F3), size distributions (F4),
+// query-category rates (T6), and vendor breakdown (T7). Filtering results
+// (T5, F5) are printed by p2pfilter.
+//
+// Usage:
+//
+//	p2panalyze -trace trace.jsonl [-top 10] [-network limewire]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"p2pmalware/internal/analysis"
+	"p2pmalware/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2panalyze: ")
+	tracePath := flag.String("trace", "trace.jsonl", "trace file written by p2pstudy")
+	topK := flag.Int("top", 10, "rows in the top-malware table")
+	network := flag.String("network", "", "restrict to one network (limewire or openft)")
+	flag.Parse()
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := dataset.ReadJSONL(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := analysis.ReportOptions{TopK: *topK}
+	switch *network {
+	case "":
+	case "limewire":
+		opts.Networks = []dataset.Network{dataset.LimeWire}
+	case "openft":
+		opts.Networks = []dataset.Network{dataset.OpenFT}
+	default:
+		log.Fatalf("unknown -network %q", *network)
+	}
+	if err := analysis.WriteReport(os.Stdout, tr, opts); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Command p2pstudy runs the full measurement study — instrumented clients
+// on simulated LimeWire and OpenFT universes over a multi-week virtual
+// trace — and writes the labelled trace dataset.
+//
+// Usage:
+//
+//	p2pstudy -days 30 -queries-per-day 96 -out trace.jsonl [-csv trace.csv]
+//	p2pstudy -network limewire -days 7 -out week.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"p2pmalware/internal/core"
+	"p2pmalware/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2pstudy: ")
+
+	var (
+		days    = flag.Int("days", 30, "virtual trace length in days")
+		perDay  = flag.Int("queries-per-day", 96, "queries issued per day per network")
+		seed    = flag.Uint64("seed", 2006, "simulation seed")
+		network = flag.String("network", "both", "network to measure: both, limewire, openft")
+		out     = flag.String("out", "trace.jsonl", "output trace path (JSONL)")
+		csvOut  = flag.String("csv", "", "optional CSV export path")
+		quiesce = flag.Duration("quiesce", 10*time.Millisecond, "response-collection quiesce window")
+		churn   = flag.Float64("churn", 0, "fraction of honest LimeWire leaves replaced per virtual day")
+		fake    = flag.Float64("fake-files", 0, "fraction of honest downloadable shares that are decoys (size lies)")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := core.StudyConfig{
+		Seed: *seed, Days: *days, QueriesPerDay: *perDay,
+		Quiesce: *quiesce, ChurnPerDay: *churn,
+	}
+	switch *network {
+	case "both":
+		cfg.LimeWire = &netsim.LimeWireConfig{Seed: *seed, FakeFileShare: *fake}
+		cfg.OpenFT = &netsim.OpenFTConfig{Seed: *seed}
+	case "limewire":
+		cfg.LimeWire = &netsim.LimeWireConfig{Seed: *seed, FakeFileShare: *fake}
+	case "openft":
+		cfg.OpenFT = &netsim.OpenFTConfig{Seed: *seed}
+	default:
+		log.Fatalf("unknown -network %q (want both, limewire, or openft)", *network)
+	}
+
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		study.Progress = func(format string, args ...any) {
+			log.Printf(format, args...)
+		}
+	}
+
+	start := time.Now()
+	trace, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		log.Printf("study complete: %d records over %d trace days (wall time %v)",
+			len(trace.Records), trace.Days(), time.Since(start).Round(time.Second))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d records)\n", *out, len(trace.Records))
+
+	if *csvOut != "" {
+		cf, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteCSV(cf); err != nil {
+			log.Fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+}

@@ -1,0 +1,117 @@
+// Command p2ptrace inspects a measurement trace: filter records by
+// network, query, malware family, source class, or downloadability, and
+// print them (or just count them). It is the dataset-exploration companion
+// to p2panalyze's fixed tables.
+//
+// Usage:
+//
+//	p2ptrace -trace trace.jsonl -malware W32.Sivex.A -limit 10
+//	p2ptrace -trace trace.jsonl -source-class private -count
+//	p2ptrace -trace trace.jsonl -query "photoshop" -downloadable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"p2pmalware/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2ptrace: ")
+	var (
+		tracePath    = flag.String("trace", "trace.jsonl", "trace file written by p2pstudy")
+		network      = flag.String("network", "", "filter: network (limewire or openft)")
+		query        = flag.String("query", "", "filter: substring of the query")
+		family       = flag.String("malware", "", "filter: malware family (\"any\" = all malicious)")
+		sourceClass  = flag.String("source-class", "", "filter: source address class")
+		sourceIP     = flag.String("source-ip", "", "filter: exact source IP")
+		downloadable = flag.Bool("downloadable", false, "filter: only archive/executable responses")
+		failed       = flag.Bool("failed", false, "filter: only failed downloads")
+		limit        = flag.Int("limit", 20, "maximum records to print (0 = all)")
+		countOnly    = flag.Bool("count", false, "print only the matching record count")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := dataset.ReadJSONL(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	match := func(r *dataset.ResponseRecord) bool {
+		if *network != "" && string(r.Network) != *network {
+			return false
+		}
+		if *query != "" && !strings.Contains(r.Query, *query) {
+			return false
+		}
+		switch {
+		case *family == "":
+		case *family == "any":
+			if !r.Malicious() {
+				return false
+			}
+		default:
+			if r.Malware != *family {
+				return false
+			}
+		}
+		if *sourceClass != "" && r.SourceClass != *sourceClass {
+			return false
+		}
+		if *sourceIP != "" && r.SourceIP != *sourceIP {
+			return false
+		}
+		if *downloadable && !r.Downloadable {
+			return false
+		}
+		if *failed && (r.DownloadError == "" || r.Downloaded) {
+			return false
+		}
+		return true
+	}
+
+	matched, printed := 0, 0
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if !match(r) {
+			continue
+		}
+		matched++
+		if *countOnly || (*limit > 0 && printed >= *limit) {
+			continue
+		}
+		label := "clean"
+		switch {
+		case r.Malicious():
+			label = "MALWARE:" + r.Malware
+		case !r.Downloaded && r.Downloadable:
+			label = "failed:" + r.DownloadError
+		case !r.Downloadable:
+			label = "media"
+		}
+		fmt.Printf("%s  %-8s  %-28q  %-40q %9d  %s:%d (%s)  %s\n",
+			r.Time.Format("2006-01-02 15:04"), r.Network, r.Query, r.Filename,
+			r.Size, r.SourceIP, r.SourcePort, r.SourceClass, label)
+		printed++
+	}
+	if *countOnly {
+		fmt.Println(matched)
+		return
+	}
+	if matched > printed {
+		fmt.Printf("... %d more matching records (raise -limit to see them)\n", matched-printed)
+	}
+	if matched == 0 {
+		fmt.Println("no matching records")
+	}
+}

@@ -1,0 +1,88 @@
+// host-discovery demonstrates overlay bootstrap via pong caching: a fresh
+// servent joins through a single seed ultrapeer, harvests cached pongs
+// with a multi-hop ping, and connects to the rest of the core — then runs
+// a query across all of it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/gnutella"
+	"p2pmalware/internal/p2p"
+)
+
+func main() {
+	log.SetFlags(0)
+	mem := p2p.NewMem()
+
+	// A five-ultrapeer core, fully meshed, each with one sharing leaf.
+	var ups []*gnutella.Node
+	for i := 0; i < 5; i++ {
+		ip := net.IPv4(128, 211, 50, byte(i+1))
+		up := gnutella.NewNode(gnutella.Config{
+			Role: gnutella.Ultrapeer, Transport: mem,
+			ListenAddr: fmt.Sprintf("%s:6346", ip), AdvertiseIP: ip, AdvertisePort: 6346,
+		})
+		must(up.Start())
+		defer up.Close()
+		ups = append(ups, up)
+	}
+	for i := range ups {
+		for j := i + 1; j < len(ups); j++ {
+			must(ups[i].Connect(ups[j].Addr()))
+		}
+	}
+	for i, up := range ups {
+		lib := p2p.NewLibrary()
+		lib.Add(p2p.StaticFile(fmt.Sprintf("distributed dataset part %d.zip", i), []byte{byte(i)}))
+		ip := net.IPv4(24, 16, 50, byte(i+1))
+		leaf := gnutella.NewNode(gnutella.Config{
+			Role: gnutella.Leaf, Transport: mem,
+			ListenAddr: fmt.Sprintf("%s:6346", ip), AdvertiseIP: ip, AdvertisePort: 6346,
+			Library: lib,
+		})
+		must(leaf.Start())
+		defer leaf.Close()
+		must(leaf.Connect(up.Addr()))
+	}
+
+	// A newcomer knows exactly one address.
+	var mu sync.Mutex
+	hits := 0
+	newcomer := gnutella.NewNode(gnutella.Config{
+		Role: gnutella.Leaf, Transport: mem,
+		ListenAddr: "24.16.50.99:6346", AdvertiseIP: net.IPv4(24, 16, 50, 99), AdvertisePort: 6346,
+		OnQueryHit: func(qh *gnutella.QueryHit, m *gnutella.Message) {
+			mu.Lock()
+			hits += len(qh.Hits)
+			mu.Unlock()
+		},
+	})
+	must(newcomer.Start())
+	defer newcomer.Close()
+
+	seed := ups[0].Addr()
+	fmt.Printf("bootstrapping from single seed %s ...\n", seed)
+	extra, err := newcomer.Bootstrap(seed, 4, 300*time.Millisecond)
+	must(err)
+	peers, _ := newcomer.NumPeers()
+	fmt.Printf("learned %d hosts from cached pongs, made %d extra connections (now %d ultrapeers)\n",
+		len(newcomer.KnownHosts()), extra, peers)
+
+	time.Sleep(100 * time.Millisecond)
+	newcomer.Query("distributed dataset", "")
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	fmt.Printf("query across the discovered overlay returned %d hits (one per leaf)\n", hits)
+	mu.Unlock()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Quickstart: spin up a tiny simulated Gnutella overlay, run a query from
+// an instrumented leaf, download a hit, and scan it for malware — the
+// whole measurement pipeline in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/gnutella"
+	"p2pmalware/internal/malware"
+	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/scanner"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One in-memory universe.
+	mem := p2p.NewMem()
+
+	// An ultrapeer at a public address.
+	up := gnutella.NewNode(gnutella.Config{
+		Role: gnutella.Ultrapeer, Transport: mem,
+		ListenAddr:  "128.211.0.1:6346",
+		AdvertiseIP: net.IPv4(128, 211, 0, 1), AdvertisePort: 6346,
+	})
+	must(up.Start())
+	defer up.Close()
+
+	// An honest leaf sharing a clean file.
+	honestLib := p2p.NewLibrary()
+	honestLib.Add(p2p.StaticFile("ubuntu linux install.zip", []byte("totally legitimate iso bytes")))
+	honest := gnutella.NewNode(gnutella.Config{
+		Role: gnutella.Leaf, Transport: mem,
+		ListenAddr:  "24.16.0.5:6346",
+		AdvertiseIP: net.IPv4(24, 16, 0, 5), AdvertisePort: 6346,
+		Library: honestLib,
+	})
+	must(honest.Start())
+	defer honest.Close()
+	must(honest.Connect("128.211.0.1:6346"))
+
+	// A query-echo malware host: answers every query with a
+	// query-derived filename pointing at its specimen.
+	family := malware.LimeWireCatalog().Families[0]
+	specimenData, err := family.Specimen(0)
+	must(err)
+	evilLib := p2p.NewLibrary()
+	specimen := p2p.StaticFile("shared.exe", specimenData)
+	evilLib.Add(specimen)
+	evil := gnutella.NewNode(gnutella.Config{
+		Role: gnutella.Leaf, Transport: mem,
+		ListenAddr:  "10.0.0.66:6346",
+		AdvertiseIP: net.IPv4(10, 0, 0, 66), AdvertisePort: 6346,
+		Library: evilLib, PromiscuousQRP: true,
+		QueryResponder: func(q *gnutella.Query, m *gnutella.Message) []gnutella.Hit {
+			return []gnutella.Hit{{
+				Index: specimen.Index, Size: uint32(specimen.Size),
+				Name: q.Criteria + " full downloader.exe",
+			}}
+		},
+	})
+	must(evil.Start())
+	defer evil.Close()
+	must(evil.Connect("128.211.0.1:6346"))
+
+	// The instrumented client.
+	var mu sync.Mutex
+	var hits []struct {
+		qh  gnutella.QueryHit
+		hit gnutella.Hit
+	}
+	client := gnutella.NewNode(gnutella.Config{
+		Role: gnutella.Leaf, Transport: mem,
+		ListenAddr:  "156.56.1.10:6346",
+		AdvertiseIP: net.IPv4(156, 56, 1, 10), AdvertisePort: 6346,
+		OnQueryHit: func(qh *gnutella.QueryHit, m *gnutella.Message) {
+			mu.Lock()
+			for _, h := range qh.Hits {
+				hits = append(hits, struct {
+					qh  gnutella.QueryHit
+					hit gnutella.Hit
+				}{*qh, h})
+			}
+			mu.Unlock()
+		},
+	})
+	must(client.Start())
+	defer client.Close()
+	must(client.Connect("128.211.0.1:6346"))
+	time.Sleep(100 * time.Millisecond) // QRP propagation
+
+	// Search, collect, download, scan.
+	fmt.Println("query: \"ubuntu linux\"")
+	_, err = client.Query("ubuntu linux", "")
+	must(err)
+	time.Sleep(200 * time.Millisecond)
+
+	engine, err := scanner.FromCatalogs(malware.LimeWireCatalog())
+	must(err)
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("received %d hits\n\n", len(hits))
+	for _, h := range hits {
+		addr := fmt.Sprintf("%s:%d", h.qh.IP, h.qh.Port)
+		body, err := gnutella.Download(mem, addr, h.hit.Index, h.hit.Name)
+		verdict := "download failed: " + fmt.Sprint(err)
+		if err == nil {
+			if fam, bad := engine.Infected(body); bad {
+				verdict = "MALWARE: " + fam
+			} else {
+				verdict = "clean"
+			}
+		}
+		fmt.Printf("  %-45q %8d bytes from %-18s -> %s\n", h.hit.Name, h.hit.Size, addr, verdict)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module p2pmalware
+
+go 1.22

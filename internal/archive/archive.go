@@ -1,0 +1,175 @@
+// Package archive synthesizes and unpacks the ZIP archives exchanged in the
+// simulated P2P networks.
+//
+// A large share of the malware the study observed travelled inside archives
+// ("downloadable responses containing archives and executables"), so the
+// synthetic corpus needs archives that (a) are genuine ZIP files, (b) can be
+// pinned to an exact byte size, and (c) can carry an embedded malware
+// executable for the scanner to find recursively.
+package archive
+
+import (
+	"archive/zip"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Member is one file inside an archive.
+type Member struct {
+	// Name is the member path inside the archive.
+	Name string
+	// Data is the member's content.
+	Data []byte
+}
+
+// MaxMemberSize caps how many bytes Extract will decompress per member,
+// guarding the scanner against zip bombs in adversarial traces.
+const MaxMemberSize = 64 << 20
+
+// ErrTooLarge is returned when a member exceeds MaxMemberSize.
+var ErrTooLarge = errors.New("archive: member exceeds extraction limit")
+
+// Build serializes members into a ZIP archive. Members are stored
+// uncompressed (method Store) so that output size is a deterministic
+// function of the inputs — the property the size-based filter analysis
+// depends on.
+func Build(members []Member) ([]byte, error) {
+	return build(members, zip.Store)
+}
+
+// BuildCompressed serializes members with DEFLATE compression. Compressed
+// archives hide member bytes from naive whole-file pattern scans, forcing
+// scanners to actually unpack — useful for exercising recursive scanning.
+func BuildCompressed(members []Member) ([]byte, error) {
+	return build(members, zip.Deflate)
+}
+
+func build(members []Member, method uint16) ([]byte, error) {
+	var buf bytes.Buffer
+	w := zip.NewWriter(&buf)
+	for _, m := range members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("archive: member with empty name")
+		}
+		fw, err := w.CreateHeader(&zip.FileHeader{Name: m.Name, Method: method})
+		if err != nil {
+			return nil, fmt.Errorf("archive: create %q: %w", m.Name, err)
+		}
+		if _, err := fw.Write(m.Data); err != nil {
+			return nil, fmt.Errorf("archive: write %q: %w", m.Name, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("archive: close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// BuildSized builds an archive containing the given members plus, when
+// padding is needed, one extra stored member named "padding.dat" sized so
+// the archive is exactly size bytes. It returns an error when size cannot
+// be reached (too small, or inside the ~100-byte dead zone below the
+// padding member's own overhead).
+func BuildSized(members []Member, size int) ([]byte, error) {
+	base, err := Build(members)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == size {
+		return base, nil
+	}
+	if len(base) > size {
+		return nil, fmt.Errorf("archive: size %d too small (minimum %d)", size, len(base))
+	}
+	// A stored member's total cost is its data length plus a fixed
+	// overhead (local header + central directory entry for its name).
+	probe, err := Build(append(append([]Member(nil), members...), Member{Name: "padding.dat", Data: nil}))
+	if err != nil {
+		return nil, err
+	}
+	overhead := len(probe) - len(base)
+	padLen := size - len(base) - overhead
+	if padLen < 0 {
+		return nil, fmt.Errorf("archive: size %d unreachable (needs >= %d with padding member)", size, len(base)+overhead)
+	}
+	out, err := Build(append(append([]Member(nil), members...), Member{Name: "padding.dat", Data: make([]byte, padLen)}))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("archive: padding math failed: got %d want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// MinSize returns the smallest archive BuildSized can produce for members.
+func MinSize(members []Member) (int, error) {
+	b, err := Build(members)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// Extract parses b as a ZIP archive and returns its members. Members larger
+// than MaxMemberSize abort extraction with ErrTooLarge.
+func Extract(b []byte) ([]Member, error) {
+	r, err := zip.NewReader(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var members []Member
+	for _, f := range r.File {
+		if f.UncompressedSize64 > MaxMemberSize {
+			return nil, ErrTooLarge
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("archive: open %q: %w", f.Name, err)
+		}
+		data, err := io.ReadAll(io.LimitReader(rc, MaxMemberSize+1))
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("archive: read %q: %w", f.Name, err)
+		}
+		if len(data) > MaxMemberSize {
+			return nil, ErrTooLarge
+		}
+		members = append(members, Member{Name: f.Name, Data: data})
+	}
+	return members, nil
+}
+
+// IsZip cheaply reports whether b starts with a ZIP local-file signature.
+func IsZip(b []byte) bool {
+	return len(b) >= 4 && b[0] == 'P' && b[1] == 'K' && b[2] == 3 && b[3] == 4
+}
+
+// ArchiveExtensions are the filename extensions the study treats as
+// archives.
+var ArchiveExtensions = []string{".zip", ".rar", ".gz", ".tar", ".7z", ".ace", ".arj", ".cab"}
+
+// ExecutableExtensions are the filename extensions the study treats as
+// executables.
+var ExecutableExtensions = []string{".exe", ".com", ".scr", ".bat", ".pif", ".vbs", ".cmd", ".msi"}
+
+// HasExtension reports whether name ends with one of exts (case-insensitive).
+func HasExtension(name string, exts []string) bool {
+	lower := strings.ToLower(name)
+	for _, e := range exts {
+		if strings.HasSuffix(lower, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDownloadable reports whether a response filename counts as
+// "downloadable" in the paper's sense: an archive or an executable. These
+// are the responses the instrumented clients downloaded and scanned.
+func IsDownloadable(name string) bool {
+	return HasExtension(name, ArchiveExtensions) || HasExtension(name, ExecutableExtensions)
+}

@@ -1,0 +1,189 @@
+package archive
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildExtractRoundTrip(t *testing.T) {
+	members := []Member{
+		{Name: "setup.exe", Data: []byte("fake exe bytes")},
+		{Name: "readme.txt", Data: []byte("hello")},
+	}
+	b, err := Build(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsZip(b) {
+		t.Fatal("output not a ZIP")
+	}
+	got, err := Extract(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("members = %d", len(got))
+	}
+	for i := range members {
+		if got[i].Name != members[i].Name || !bytes.Equal(got[i].Data, members[i].Data) {
+			t.Fatalf("member %d mismatch: %+v", i, got[i])
+		}
+	}
+}
+
+func TestBuildEmptyNameRejected(t *testing.T) {
+	if _, err := Build([]Member{{Name: "", Data: []byte("x")}}); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	m := []Member{{Name: "a.exe", Data: []byte("payload")}}
+	b1, _ := Build(m)
+	b2, _ := Build(m)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Build not deterministic")
+	}
+}
+
+func TestBuildSizedExact(t *testing.T) {
+	members := []Member{{Name: "virus.exe", Data: bytes.Repeat([]byte{0xCC}, 500)}}
+	min, err := MinSize(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{min + 200, min + 1000, 16384, 100000} {
+		b, err := BuildSized(members, size)
+		if err != nil {
+			t.Fatalf("BuildSized(%d): %v", size, err)
+		}
+		if len(b) != size {
+			t.Fatalf("BuildSized(%d) = %d bytes", size, len(b))
+		}
+		got, err := Extract(b)
+		if err != nil {
+			t.Fatalf("Extract sized: %v", err)
+		}
+		if got[0].Name != "virus.exe" || !bytes.Equal(got[0].Data, members[0].Data) {
+			t.Fatal("payload member corrupted by padding")
+		}
+	}
+}
+
+func TestBuildSizedExactFit(t *testing.T) {
+	members := []Member{{Name: "x.exe", Data: []byte("abc")}}
+	min, _ := MinSize(members)
+	b, err := BuildSized(members, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != min {
+		t.Fatalf("len = %d want %d", len(b), min)
+	}
+}
+
+func TestBuildSizedTooSmall(t *testing.T) {
+	members := []Member{{Name: "x.exe", Data: bytes.Repeat([]byte("y"), 1000)}}
+	if _, err := BuildSized(members, 100); err == nil {
+		t.Fatal("impossible size accepted")
+	}
+}
+
+func TestBuildSizedDeadZone(t *testing.T) {
+	// Sizes just above the minimum but below minimum+overhead are
+	// unreachable and must error, not mis-size.
+	members := []Member{{Name: "x.exe", Data: []byte("abc")}}
+	min, _ := MinSize(members)
+	if _, err := BuildSized(members, min+1); err == nil {
+		b, _ := BuildSized(members, min+1)
+		if len(b) != min+1 {
+			t.Fatal("dead-zone size silently mis-sized")
+		}
+	}
+}
+
+func TestExtractRejectsGarbage(t *testing.T) {
+	if _, err := Extract([]byte("this is not a zip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if IsZip([]byte("no")) {
+		t.Fatal("IsZip accepted short input")
+	}
+}
+
+func TestHasExtension(t *testing.T) {
+	cases := []struct {
+		name string
+		exe  bool
+		arc  bool
+	}{
+		{"setup.exe", true, false},
+		{"SETUP.EXE", true, false},
+		{"movie.avi", false, false},
+		{"album.zip", false, true},
+		{"Album.RAR", false, true},
+		{"song.mp3", false, false},
+		{"installer.msi", true, false},
+		{"clip.scr", true, false},
+	}
+	for _, c := range cases {
+		if got := HasExtension(c.name, ExecutableExtensions); got != c.exe {
+			t.Errorf("HasExtension(%q, exe) = %v", c.name, got)
+		}
+		if got := HasExtension(c.name, ArchiveExtensions); got != c.arc {
+			t.Errorf("HasExtension(%q, arc) = %v", c.name, got)
+		}
+		if got := IsDownloadable(c.name); got != (c.exe || c.arc) {
+			t.Errorf("IsDownloadable(%q) = %v", c.name, got)
+		}
+	}
+}
+
+func TestNestedArchiveRoundTrip(t *testing.T) {
+	inner, err := Build([]Member{{Name: "evil.exe", Data: []byte("payload")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := Build([]Member{{Name: "inner.zip", Data: inner}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Extract(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Extract(m1[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2[0].Name != "evil.exe" || string(m2[0].Data) != "payload" {
+		t.Fatal("nested extraction lost payload")
+	}
+}
+
+func TestExtractEmptyArchive(t *testing.T) {
+	b, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Extract(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("members = %d", len(got))
+	}
+}
+
+func TestLongMemberNames(t *testing.T) {
+	name := strings.Repeat("d/", 50) + "file.exe"
+	b, err := Build([]Member{{Name: name, Data: []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Extract(b)
+	if err != nil || got[0].Name != name {
+		t.Fatalf("long name round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkBuildSized(b *testing.B) {
+	members := []Member{{Name: "setup.exe", Data: bytes.Repeat([]byte{0xCC}, 8192)}}
+	b.SetBytes(232960)
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSized(members, 232960); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	z, err := Build([]Member{
+		{Name: "a.exe", Data: bytes.Repeat([]byte{1}, 65536)},
+		{Name: "b.txt", Data: []byte("readme")},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(z)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

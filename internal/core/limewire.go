@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/archive"
+	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/gnutella"
+	"p2pmalware/internal/ipaddr"
+	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/scanner"
+	"p2pmalware/internal/simclock"
+)
+
+// lwCollector accumulates the hits for the in-flight query.
+type lwCollector struct {
+	mu      sync.Mutex
+	hits    []lwHit
+	lastHit time.Time
+}
+
+type lwHit struct {
+	qh  gnutella.QueryHit
+	hit gnutella.Hit
+}
+
+func (c *lwCollector) add(qh *gnutella.QueryHit, hit gnutella.Hit) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = append(c.hits, lwHit{qh: *qh, hit: hit})
+	c.lastHit = time.Now()
+}
+
+// drain waits for the response stream to quiesce and returns the hits.
+func (c *lwCollector) drain(quiesce, maxWait time.Duration) []lwHit {
+	deadline := time.Now().Add(maxWait)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		last := c.lastHit
+		n := len(c.hits)
+		c.mu.Unlock()
+		if n > 0 && time.Since(last) >= quiesce {
+			break
+		}
+		if n == 0 && time.Since(deadline.Add(-maxWait)) >= 4*quiesce {
+			// No responder at all for this query.
+			break
+		}
+		time.Sleep(quiesce / 5)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.hits
+	c.hits = nil
+	return out
+}
+
+// runLimeWire drives the instrumented LimeWire client over the simulated
+// Gnutella universe, appending records to tr.
+func (s *Study) runLimeWire(tr *dataset.Trace) error {
+	net_, err := netsim.BuildLimeWire(*s.cfg.LimeWire)
+	if err != nil {
+		return err
+	}
+	defer net_.Close()
+
+	collector := &lwCollector{}
+	var colMu sync.Mutex
+	active := collector
+
+	clientIP := net.IPv4(156, 56, 1, 10) // the measurement host
+	client := gnutella.NewNode(gnutella.Config{
+		Role:        gnutella.Leaf,
+		Transport:   net_.Mem,
+		ListenAddr:  fmt.Sprintf("%s:6346", clientIP),
+		AdvertiseIP: clientIP, AdvertisePort: 6346,
+		UserAgent: "LimeWire/4.10.9-instrumented", Vendor: "LIME",
+		OnQueryHit: func(qh *gnutella.QueryHit, m *gnutella.Message) {
+			colMu.Lock()
+			col := active
+			colMu.Unlock()
+			for _, h := range qh.Hits {
+				col.add(qh, h)
+			}
+		},
+	})
+	if err := client.Start(); err != nil {
+		return err
+	}
+	defer client.Close()
+	for _, addr := range net_.UltrapeerAddrs() {
+		if err := client.Connect(addr); err != nil {
+			return fmt.Errorf("core: connecting instrumented client: %w", err)
+		}
+	}
+
+	gen, err := s.newWorkload(0x11F0)
+	if err != nil {
+		return err
+	}
+	cache := newDownloadCache()
+	total := s.totalQueries()
+	interval := 24 * time.Hour / time.Duration(s.cfg.QueriesPerDay)
+
+	// The trace is event-driven: query events (and day-boundary churn
+	// events) are scheduled on a virtual clock and fired in timestamp
+	// order, so a month of trace time elapses in however long the
+	// in-memory network takes to answer.
+	clock := simclock.NewVirtual(s.cfg.Epoch)
+	var firstErr error
+	if s.cfg.ChurnPerDay > 0 {
+		for d := 1; d < s.cfg.Days; d++ {
+			day := d
+			clock.Schedule(time.Duration(d)*24*time.Hour, func(now time.Time) {
+				if firstErr != nil {
+					return
+				}
+				replaced, err := net_.ChurnHonest(s.cfg.ChurnPerDay)
+				if err != nil {
+					firstErr = fmt.Errorf("core: churn on day %d: %w", day, err)
+					return
+				}
+				s.progress("limewire: day %d churned %d honest leaves", day, replaced)
+			})
+		}
+	}
+	for i := 0; i < total; i++ {
+		i := i
+		clock.Schedule(time.Duration(i)*interval, func(now time.Time) {
+			if firstErr != nil {
+				return
+			}
+			term := gen.Next()
+			colMu.Lock()
+			active = &lwCollector{}
+			col := active
+			colMu.Unlock()
+			if _, err := client.Query(term.Text, ""); err != nil {
+				firstErr = err
+				return
+			}
+			hits := col.drain(s.cfg.Quiesce, s.cfg.MaxWait)
+			tr.QueriesSent[dataset.LimeWire]++
+			for _, h := range hits {
+				rec := dataset.ResponseRecord{
+					Time:          now,
+					Network:       dataset.LimeWire,
+					Query:         term.Text,
+					QueryCategory: string(term.Category),
+					Filename:      h.hit.Name,
+					Size:          int64(h.hit.Size),
+					SourceIP:      h.qh.IP.String(),
+					SourcePort:    h.qh.Port,
+					SourceClass:   ipaddr.Classify(h.qh.IP).String(),
+					ServentID:     h.qh.ServentID.String(),
+					ContentID:     h.hit.Extensions,
+					Vendor:        h.qh.Vendor,
+					PushFlagged:   h.qh.Flags&gnutella.QHDPush != 0,
+					Downloadable:  archive.IsDownloadable(h.hit.Name),
+				}
+				if rec.Downloadable {
+					s.downloadLimeWire(client, net_, &rec, h, cache)
+				}
+				tr.Add(rec)
+			}
+			if (i+1)%500 == 0 {
+				s.progress("limewire: %d/%d queries, %d records", i+1, total, len(tr.Records))
+			}
+		})
+	}
+	clock.Run(0)
+	return firstErr
+}
+
+// downloadLimeWire fetches a downloadable hit (directly, or via push for
+// firewalled sources), scans it, and fills the record.
+func (s *Study) downloadLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, rec *dataset.ResponseRecord, h lwHit, cache *downloadCache) {
+	key := fmt.Sprintf("%s:%d/%d/%d", rec.SourceIP, rec.SourcePort, h.hit.Index, h.hit.Size)
+	if body, ok := cache.get(key); ok {
+		s.labelDownload(rec, body, nil)
+		return
+	}
+	if err, ok := cache.getErr(key); ok {
+		s.labelDownload(rec, nil, err)
+		return
+	}
+	var body []byte
+	var err error
+	if rec.PushFlagged {
+		body, err = client.DownloadViaPush(h.qh.ServentID, h.hit.Index, h.hit.Name, 5*time.Second)
+	} else {
+		addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
+		body, err = gnutella.Download(net_.Mem, addr, h.hit.Index, h.hit.Name)
+	}
+	if err == nil {
+		cache.put(key, body)
+	} else {
+		cache.putErr(key, err)
+	}
+	s.labelDownload(rec, body, err)
+}
+
+// labelDownload applies scan results to a record.
+func (s *Study) labelDownload(rec *dataset.ResponseRecord, body []byte, err error) {
+	if err != nil {
+		rec.DownloadError = err.Error()
+		return
+	}
+	rec.Downloaded = true
+	rec.BodyHash = scanner.HexHash(body)
+	rec.BodySize = int64(len(body))
+	if fam, ok := s.engine.Infected(body); ok {
+		rec.Malware = fam
+	}
+}
+
+// downloadCache memoizes downloads per source endpoint + index so the same
+// specimen is fetched once per host, like the study's downloader.
+type downloadCache struct {
+	mu     sync.Mutex
+	bodies map[string][]byte
+	errs   map[string]error
+}
+
+func newDownloadCache() *downloadCache {
+	return &downloadCache{bodies: make(map[string][]byte), errs: make(map[string]error)}
+}
+
+func (c *downloadCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.bodies[key]
+	return b, ok
+}
+
+func (c *downloadCache) getErr(key string) (error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.errs[key]
+	return e, ok
+}
+
+func (c *downloadCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bodies[key] = body
+}
+
+func (c *downloadCache) putErr(key string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs[key] = err
+}

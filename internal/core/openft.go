@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/archive"
+	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/ipaddr"
+	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/openft"
+	"p2pmalware/internal/simclock"
+)
+
+// ftCollector accumulates search results for the in-flight OpenFT search.
+type ftCollector struct {
+	mu      sync.Mutex
+	id      uint32
+	results []openft.SearchResp
+	lastHit time.Time
+}
+
+func (c *ftCollector) add(r openft.SearchResp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.id != 0 && r.ID != c.id {
+		return // stale result from a previous search
+	}
+	c.results = append(c.results, r)
+	c.lastHit = time.Now()
+}
+
+func (c *ftCollector) drain(quiesce, maxWait time.Duration) []openft.SearchResp {
+	deadline := time.Now().Add(maxWait)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		last := c.lastHit
+		n := len(c.results)
+		c.mu.Unlock()
+		if n > 0 && time.Since(last) >= quiesce {
+			break
+		}
+		if n == 0 && time.Since(start) >= 4*quiesce {
+			break
+		}
+		time.Sleep(quiesce / 5)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.results
+	c.results = nil
+	return out
+}
+
+// runOpenFT drives the instrumented giFT/OpenFT client over the simulated
+// OpenFT universe, appending records to tr.
+func (s *Study) runOpenFT(tr *dataset.Trace) error {
+	net_, err := netsim.BuildOpenFT(*s.cfg.OpenFT)
+	if err != nil {
+		return err
+	}
+	defer net_.Close()
+
+	var colMu sync.Mutex
+	active := &ftCollector{}
+
+	clientIP := net.IPv4(156, 56, 1, 11)
+	client := openft.NewNode(openft.Config{
+		Class:       openft.ClassUser,
+		Transport:   net_.Mem,
+		ListenAddr:  fmt.Sprintf("%s:1216", clientIP),
+		AdvertiseIP: clientIP, AdvertisePort: 1216,
+		Alias: "giFT-instrumented",
+		OnSearchResult: func(r openft.SearchResp) {
+			colMu.Lock()
+			col := active
+			colMu.Unlock()
+			col.add(r)
+		},
+	})
+	if err := client.Start(); err != nil {
+		return err
+	}
+	defer client.Close()
+	for _, addr := range net_.SearchAddrs() {
+		if err := client.Connect(addr); err != nil {
+			return fmt.Errorf("core: connecting instrumented openft client: %w", err)
+		}
+	}
+
+	gen, err := s.newWorkload(0x0F70)
+	if err != nil {
+		return err
+	}
+	cache := newDownloadCache()
+	total := s.totalQueries()
+	interval := 24 * time.Hour / time.Duration(s.cfg.QueriesPerDay)
+	clock := simclock.NewVirtual(s.cfg.Epoch)
+	var firstErr error
+	for i := 0; i < total; i++ {
+		i := i
+		clock.Schedule(time.Duration(i)*interval, func(now time.Time) {
+			if firstErr != nil {
+				return
+			}
+			term := gen.Next()
+			colMu.Lock()
+			active = &ftCollector{}
+			col := active
+			colMu.Unlock()
+			id, err := client.Search(term.Text)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			col.mu.Lock()
+			col.id = id
+			col.mu.Unlock()
+			results := col.drain(s.cfg.Quiesce, s.cfg.MaxWait)
+			tr.QueriesSent[dataset.OpenFT]++
+			for _, r := range results {
+				rec := dataset.ResponseRecord{
+					Time:          now,
+					Network:       dataset.OpenFT,
+					Query:         term.Text,
+					QueryCategory: string(term.Category),
+					Filename:      r.Path,
+					Size:          int64(r.Size),
+					SourceIP:      r.IP.String(),
+					SourcePort:    r.Port,
+					SourceClass:   ipaddr.Classify(r.IP).String(),
+					ContentID:     r.MD5,
+					Downloadable:  archive.IsDownloadable(r.Path),
+				}
+				if rec.Downloadable {
+					s.downloadOpenFT(net_, &rec, r, cache)
+				}
+				tr.Add(rec)
+			}
+			if (i+1)%500 == 0 {
+				s.progress("openft: %d/%d queries, %d records", i+1, total, len(tr.Records))
+			}
+		})
+	}
+	clock.Run(0)
+	return firstErr
+}
+
+// downloadOpenFT fetches a result by MD5 from the sharing user and scans
+// it.
+func (s *Study) downloadOpenFT(net_ *netsim.OpenFTNet, rec *dataset.ResponseRecord, r openft.SearchResp, cache *downloadCache) {
+	key := "md5/" + r.MD5 + "@" + rec.SourceIP
+	if body, ok := cache.get(key); ok {
+		s.labelDownload(rec, body, nil)
+		return
+	}
+	if err, ok := cache.getErr(key); ok {
+		s.labelDownload(rec, nil, err)
+		return
+	}
+	addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
+	body, err := openft.Download(net_.Mem, addr, r.MD5)
+	if err == nil {
+		cache.put(key, body)
+	} else {
+		cache.putErr(key, err)
+	}
+	s.labelDownload(rec, body, err)
+}

@@ -1,0 +1,173 @@
+// Package core implements the paper's measurement methodology as a
+// reusable library: instrumented clients join each network, issue a
+// popularity-skewed query stream over a (virtual) multi-week trace period,
+// record every query response, download the responses that are archives or
+// executables, scan the downloads, and assemble the labelled trace that
+// every table and figure in the evaluation is computed from.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/malware"
+	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/scanner"
+	"p2pmalware/internal/simclock"
+	"p2pmalware/internal/stats"
+	"p2pmalware/internal/workload"
+)
+
+// StudyConfig configures a full measurement run.
+type StudyConfig struct {
+	// Seed drives every random choice (population, workload, jitter).
+	Seed uint64
+	// Days is the virtual trace length (default 30, matching the paper's
+	// "over a month of data").
+	Days int
+	// QueriesPerDay is the query rate per network (default 96).
+	QueriesPerDay int
+	// ZipfExponent is the query-popularity skew (default 1.0).
+	ZipfExponent float64
+	// Quiesce is how long (real time) the collector waits after the last
+	// response before considering a query answered (default 25ms; the
+	// in-memory network settles in microseconds).
+	Quiesce time.Duration
+	// MaxWait bounds total (real-time) collection per query (default 1s).
+	MaxWait time.Duration
+	// ChurnPerDay is the fraction of honest LimeWire leaves replaced at
+	// each virtual day boundary (0 = static population). Malware hosts
+	// persist, matching the paper's stable malicious sources.
+	ChurnPerDay float64
+	// LimeWire configures the Gnutella universe; nil skips the network.
+	LimeWire *netsim.LimeWireConfig
+	// OpenFT configures the OpenFT universe; nil skips the network.
+	OpenFT *netsim.OpenFTConfig
+	// Epoch is the virtual trace start (default simclock.DefaultEpoch).
+	Epoch time.Time
+}
+
+func (c *StudyConfig) applyDefaults() {
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.QueriesPerDay <= 0 {
+		c.QueriesPerDay = 96
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 1.0
+	}
+	if c.Quiesce <= 0 {
+		c.Quiesce = 25 * time.Millisecond
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Second
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = simclock.DefaultEpoch
+	}
+}
+
+// Study is one configured measurement run.
+type Study struct {
+	cfg    StudyConfig
+	engine *scanner.Engine
+	trace  *dataset.Trace
+	// Progress, when set, receives coarse progress lines.
+	Progress func(format string, args ...any)
+}
+
+// NewStudy validates the configuration and prepares the scanner ground
+// truth from the catalogs in play.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	cfg.applyDefaults()
+	if cfg.LimeWire == nil && cfg.OpenFT == nil {
+		return nil, fmt.Errorf("core: study needs at least one network")
+	}
+	var catalogs []*malware.Catalog
+	if cfg.LimeWire != nil {
+		if cfg.LimeWire.Catalog == nil {
+			cfg.LimeWire.Catalog = malware.LimeWireCatalog()
+		}
+		catalogs = append(catalogs, cfg.LimeWire.Catalog)
+	}
+	if cfg.OpenFT != nil {
+		if cfg.OpenFT.Catalog == nil {
+			cfg.OpenFT.Catalog = malware.OpenFTCatalog()
+		}
+		catalogs = append(catalogs, cfg.OpenFT.Catalog)
+	}
+	engine, err := scanner.FromCatalogs(catalogs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{cfg: cfg, engine: engine, trace: dataset.NewTrace()}, nil
+}
+
+// Run executes the configured study and returns the labelled trace. The
+// two networks are measured concurrently — they live in separate
+// simulated universes, exactly as the study's two instrumented clients
+// ran side by side.
+func (s *Study) Run() (*dataset.Trace, error) {
+	type part struct {
+		name string
+		run  func(tr *dataset.Trace) error
+	}
+	var parts []part
+	if s.cfg.LimeWire != nil {
+		parts = append(parts, part{"limewire", s.runLimeWire})
+	}
+	if s.cfg.OpenFT != nil {
+		parts = append(parts, part{"openft", s.runOpenFT})
+	}
+	traces := make([]*dataset.Trace, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, pt := range parts {
+		wg.Add(1)
+		go func(i int, pt part) {
+			defer wg.Done()
+			tr := dataset.NewTrace()
+			if err := pt.run(tr); err != nil {
+				errs[i] = fmt.Errorf("core: %s study: %w", pt.name, err)
+				return
+			}
+			traces[i] = tr
+		}(i, pt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range traces {
+		s.trace.Merge(tr)
+	}
+	return s.trace, nil
+}
+
+// Trace returns the (possibly partial) trace.
+func (s *Study) Trace() *dataset.Trace { return s.trace }
+
+// Engine returns the ground-truth scanner.
+func (s *Study) Engine() *scanner.Engine { return s.engine }
+
+func (s *Study) progress(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(format, args...)
+	}
+}
+
+// totalQueries is the query budget per network.
+func (s *Study) totalQueries() int {
+	return s.cfg.Days * s.cfg.QueriesPerDay
+}
+
+// newWorkload builds the query generator; both networks draw from the same
+// corpus with the same skew, as the instrumented clients did.
+func (s *Study) newWorkload(streamSeed uint64) (*workload.Generator, error) {
+	return workload.NewGenerator(stats.NewRNG(s.cfg.Seed, streamSeed), workload.DefaultCorpus(), s.cfg.ZipfExponent)
+}

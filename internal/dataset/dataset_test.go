@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	t := NewTrace()
+	base := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	t.QueriesSent[LimeWire] = 10
+	t.QueriesSent[OpenFT] = 5
+	t.Add(ResponseRecord{
+		Time: base, Network: LimeWire, Query: "britney spears",
+		QueryCategory: "music", Filename: "britney_full.exe", Size: 184342,
+		SourceIP: "10.1.2.3", SourcePort: 6346, SourceClass: "private",
+		ServentID: "abc", Vendor: "LIME", PushFlagged: true,
+		Downloadable: true, Downloaded: true,
+		BodyHash: "deadbeef", BodySize: 184342, Malware: "W32.Sivex.A",
+	})
+	t.Add(ResponseRecord{
+		Time: base.Add(48 * time.Hour), Network: OpenFT, Query: "photoshop",
+		QueryCategory: "software", Filename: "photoshop.zip", Size: 999,
+		SourceIP: "24.16.0.1", SourcePort: 1216, SourceClass: "public",
+		Downloadable: true, Downloaded: true, BodyHash: "cafe", BodySize: 999,
+	})
+	t.Add(ResponseRecord{
+		Time: base.Add(time.Hour), Network: LimeWire, Query: "madonna",
+		QueryCategory: "music", Filename: "madonna.mp3", Size: 4000000,
+		SourceIP: "128.211.1.1", SourcePort: 6346, SourceClass: "public",
+		Downloadable: false,
+	})
+	return t
+}
+
+func TestTraceBoundsAndDays(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Days() != 3 {
+		t.Fatalf("Days = %d, want 3", tr.Days())
+	}
+	if !tr.Start.Equal(time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("Start = %v", tr.Start)
+	}
+	empty := NewTrace()
+	if empty.Days() != 0 {
+		t.Fatal("empty trace has days")
+	}
+}
+
+func TestByNetwork(t *testing.T) {
+	tr := sampleTrace()
+	if got := len(tr.ByNetwork(LimeWire)); got != 2 {
+		t.Fatalf("LimeWire records = %d", got)
+	}
+	if got := len(tr.ByNetwork(OpenFT)); got != 1 {
+		t.Fatalf("OpenFT records = %d", got)
+	}
+}
+
+func TestMalicious(t *testing.T) {
+	tr := sampleTrace()
+	if !tr.Records[0].Malicious() || tr.Records[1].Malicious() {
+		t.Fatal("Malicious misclassifies")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(tr.Records))
+	}
+	if got.QueriesSent[LimeWire] != 10 || got.QueriesSent[OpenFT] != 5 {
+		t.Fatalf("queries sent = %v", got.QueriesSent)
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], got.Records[i]
+		if a.Filename != b.Filename || a.Malware != b.Malware || !a.Time.Equal(b.Time) ||
+			a.SourceClass != b.SourceClass || a.PushFlagged != b.PushFlagged {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"wrong"}`)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestReadJSONLTruncatedRecord(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	tr.WriteJSONL(&buf)
+	cut := buf.String()[:buf.Len()-20]
+	if _, err := ReadJSONL(strings.NewReader(cut)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(tr.Records) {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time,network,query") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "W32.Sivex.A") {
+		t.Fatalf("first row missing malware label: %q", lines[1])
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTrace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 0 {
+		t.Fatal("phantom records")
+	}
+}

@@ -1,0 +1,255 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"p2pmalware/internal/dataset"
+)
+
+// labTrace builds a trace where malware sits at 3 characteristic sizes and
+// clean files at distinct other sizes; a .vbs family provides the 6% the
+// built-in filter can catch.
+func labTrace() *dataset.Trace {
+	tr := dataset.NewTrace()
+	base := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	add := func(i int, name string, size int64, malware string, hour int) {
+		tr.Add(dataset.ResponseRecord{
+			Time: base.Add(time.Duration(hour) * time.Hour), Network: dataset.LimeWire,
+			Filename: name, Size: size, SourceIP: "5.9.0.1", SourceClass: "public",
+			Downloadable: true, Downloaded: true,
+			BodyHash: fmt.Sprintf("h-%s-%d", malware, size),
+			Malware:  malware,
+		})
+	}
+	// Spread every family across the whole trace period so temporal
+	// splits see all families in training, as the real trace did.
+	n := 0
+	for i := 0; i < 62; i++ {
+		add(n, "a.exe", 184342, "FamA", (i*13)%100)
+		n++
+	}
+	for i := 0; i < 31; i++ {
+		add(n, "b.zip", 232960, "FamB", (i*17)%100)
+		n++
+	}
+	for i := 0; i < 7; i++ {
+		add(n, "c.vbs", 4226, "FamC", (i*29)%100)
+		n++
+	}
+	for i := 0; i < 100; i++ {
+		add(n, "clean.exe", int64(90000+i*333), "", (i*7)%100)
+		n++
+	}
+	return tr
+}
+
+func TestSizeFilterDetectsNearlyAll(t *testing.T) {
+	tr := labTrace()
+	f := TrainSizeFilter(tr, dataset.LimeWire, 3)
+	res := Evaluate(f, tr, dataset.LimeWire)
+	if res.Malicious != 100 || res.Clean != 100 {
+		t.Fatalf("counts = %+v", res)
+	}
+	if res.DetectionRate != 1.0 {
+		t.Fatalf("detection = %v", res.DetectionRate)
+	}
+	if res.FalsePositiveRate != 0 {
+		t.Fatalf("fp rate = %v", res.FalsePositiveRate)
+	}
+	if f.NumSizes() != 3 {
+		t.Fatalf("sizes = %v", f.Sizes())
+	}
+}
+
+func TestSizeFilterK1(t *testing.T) {
+	tr := labTrace()
+	f := TrainSizeFilter(tr, dataset.LimeWire, 1)
+	res := Evaluate(f, tr, dataset.LimeWire)
+	if math.Abs(res.DetectionRate-0.62) > 1e-9 {
+		t.Fatalf("k=1 detection = %v", res.DetectionRate)
+	}
+	sizes := f.Sizes()
+	if len(sizes) != 1 || sizes[0] != 184342 {
+		t.Fatalf("k=1 picked %v", sizes)
+	}
+}
+
+func TestSizeFilterFalsePositiveOnCollision(t *testing.T) {
+	tr := labTrace()
+	// A clean file exactly at a malware size must be (wrongly) blocked —
+	// that is the filter's only failure mode.
+	tr.Add(dataset.ResponseRecord{
+		Time: tr.End, Network: dataset.LimeWire, Filename: "unlucky.exe",
+		Size: 184342, SourceIP: "5.9.0.9", SourceClass: "public",
+		Downloadable: true, Downloaded: true, BodyHash: "clean-collision",
+	})
+	f := TrainSizeFilter(tr, dataset.LimeWire, 3)
+	res := Evaluate(f, tr, dataset.LimeWire)
+	if res.FalsePositives != 1 {
+		t.Fatalf("fp = %d", res.FalsePositives)
+	}
+}
+
+func TestSizeFilterTolerance(t *testing.T) {
+	tr := labTrace()
+	f := TrainSizeFilter(tr, dataset.LimeWire, 3)
+	f.Tolerance = 1024
+	res := Evaluate(f, tr, dataset.LimeWire)
+	if res.DetectionRate != 1.0 {
+		t.Fatalf("detection = %v", res.DetectionRate)
+	}
+	// Widening cannot reduce detection but may add false positives; with
+	// clean sizes 333 apart, ±1024 around three centers catches some.
+	exact := TrainSizeFilter(tr, dataset.LimeWire, 3)
+	exactRes := Evaluate(exact, tr, dataset.LimeWire)
+	if res.FalsePositives < exactRes.FalsePositives {
+		t.Fatal("tolerance reduced false positives")
+	}
+}
+
+func TestBuiltinFilterCatchesOnlyScriptFamily(t *testing.T) {
+	tr := labTrace()
+	f := NewBuiltinFilter()
+	res := Evaluate(f, tr, dataset.LimeWire)
+	if res.Detected != 7 {
+		t.Fatalf("builtin detected %d, want 7 (.vbs only)", res.Detected)
+	}
+	if math.Abs(res.DetectionRate-0.07) > 1e-9 {
+		t.Fatalf("builtin rate = %v", res.DetectionRate)
+	}
+	if res.FalsePositives != 0 {
+		t.Fatalf("builtin fp = %d", res.FalsePositives)
+	}
+}
+
+func TestBuiltinFilterKnownHash(t *testing.T) {
+	tr := labTrace()
+	f := NewBuiltinFilter()
+	f.KnownHashes["h-FamA-184342"] = true
+	res := Evaluate(f, tr, dataset.LimeWire)
+	if res.Detected != 7+62 {
+		t.Fatalf("detected = %d", res.Detected)
+	}
+}
+
+func TestHashFilter(t *testing.T) {
+	tr := labTrace()
+	train, eval := SplitTrace(tr, 0.5)
+	f := TrainHashFilter(train, dataset.LimeWire)
+	res := Evaluate(f, eval, dataset.LimeWire)
+	// Hashes are per (family,size) here, stable across the trace, so the
+	// hash filter generalizes in this lab set-up; it must detect > 0 and
+	// never false-positive.
+	if res.Detected == 0 || res.FalsePositives != 0 {
+		t.Fatalf("hash filter = %+v", res)
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	tr := labTrace()
+	pts := SweepSizeFilter(tr, tr, dataset.LimeWire, []int{1, 2, 3, 10})
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DetectionRate < pts[i-1].DetectionRate {
+			t.Fatalf("detection not monotone in k: %+v", pts)
+		}
+	}
+	if pts[2].DetectionRate != 1.0 {
+		t.Fatalf("k=3 detection = %v", pts[2].DetectionRate)
+	}
+}
+
+func TestSplitTrace(t *testing.T) {
+	tr := labTrace()
+	tr.QueriesSent[dataset.LimeWire] = 100
+	train, eval := SplitTrace(tr, 0.25)
+	if len(train.Records)+len(eval.Records) != len(tr.Records) {
+		t.Fatal("split lost records")
+	}
+	if len(train.Records) == 0 || len(eval.Records) == 0 {
+		t.Fatalf("degenerate split: %d / %d", len(train.Records), len(eval.Records))
+	}
+	if !train.End.Before(eval.Start.Add(time.Nanosecond)) {
+		t.Fatal("split not temporal")
+	}
+	if train.QueriesSent[dataset.LimeWire]+eval.QueriesSent[dataset.LimeWire] != 100 {
+		t.Fatal("query counts not apportioned")
+	}
+	emptyTrain, emptyEval := SplitTrace(dataset.NewTrace(), 0.5)
+	if len(emptyTrain.Records) != 0 || len(emptyEval.Records) != 0 {
+		t.Fatal("empty split invented records")
+	}
+}
+
+func TestTrainOnFirstWeekGeneralizes(t *testing.T) {
+	// The paper's deployment story: train the size filter on early trace,
+	// evaluate later — characteristic sizes are stable, so detection
+	// stays near-perfect.
+	tr := labTrace()
+	train, eval := SplitTrace(tr, 0.3)
+	f := TrainSizeFilter(train, dataset.LimeWire, 10)
+	res := Evaluate(f, eval, dataset.LimeWire)
+	if res.DetectionRate < 0.99 {
+		t.Fatalf("generalization detection = %v", res.DetectionRate)
+	}
+	if res.FalsePositiveRate > 0.01 {
+		t.Fatalf("generalization fp = %v", res.FalsePositiveRate)
+	}
+}
+
+func TestEvaluateSkipsUnlabelled(t *testing.T) {
+	tr := dataset.NewTrace()
+	tr.Add(dataset.ResponseRecord{Network: dataset.LimeWire, Filename: "x.exe",
+		Size: 10, Downloadable: true, Downloaded: false})
+	res := Evaluate(NewBuiltinFilter(), tr, dataset.LimeWire)
+	if res.Malicious+res.Clean != 0 {
+		t.Fatal("unlabelled records scored")
+	}
+}
+
+func TestUnionFilter(t *testing.T) {
+	tr := labTrace()
+	size := TrainSizeFilter(tr, dataset.LimeWire, 2) // misses FamC (.vbs)
+	builtin := NewBuiltinFilter()                    // catches only FamC
+	u := &Union{Filters: []Filter{size, builtin}}
+	if u.Name() != "union(size-based+limewire-builtin)" {
+		t.Fatalf("Name = %q", u.Name())
+	}
+	res := Evaluate(u, tr, dataset.LimeWire)
+	if res.DetectionRate != 1.0 {
+		t.Fatalf("union detection = %v, want 1.0 (size k=2 + builtin covers all)", res.DetectionRate)
+	}
+	if res.FalsePositives != 0 {
+		t.Fatalf("union fp = %d", res.FalsePositives)
+	}
+	// Union must never detect less than its best member.
+	sizeOnly := Evaluate(size, tr, dataset.LimeWire)
+	if res.Detected < sizeOnly.Detected {
+		t.Fatal("union detected less than a member")
+	}
+}
+
+func TestPerFamilyDetection(t *testing.T) {
+	tr := labTrace()
+	f := TrainSizeFilter(tr, dataset.LimeWire, 1) // only FamA's size
+	fams := PerFamilyDetection(f, tr, dataset.LimeWire)
+	if len(fams) != 3 {
+		t.Fatalf("families = %+v", fams)
+	}
+	if fams[0].Family != "FamA" || fams[0].Rate != 1.0 {
+		t.Fatalf("FamA row = %+v", fams[0])
+	}
+	for _, fd := range fams[1:] {
+		if fd.Rate != 0 {
+			t.Fatalf("unexpected detection for %s: %+v", fd.Family, fd)
+		}
+	}
+	if fams[0].Total < fams[1].Total {
+		t.Fatal("not sorted by volume")
+	}
+}

@@ -1,0 +1,173 @@
+package gnutella
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// GGEP (Gnutella Generic Extension Protocol) is the framed extension
+// format modern servents embedded in queries, query hits and pongs. A GGEP
+// block starts with the 0xC3 magic byte followed by extension frames:
+//
+//	flags   1 byte  (bit7: last extension, bit6: COBS, bit5: deflate,
+//	                 bits0-3: ID length 1-15)
+//	id      1-15 bytes
+//	length  1-3 bytes, 6 bits of payload length each; bit7 set on
+//	        non-final length bytes, bit6 set on the final one
+//	payload
+//
+// COBS and deflate encodings are not used by this implementation when
+// writing and are rejected when reading (real servents rarely needed them
+// for the small extensions we carry: HUGE urns, push proxies, metadata).
+const ggepMagic = 0xC3
+
+// GGEP flag bits.
+const (
+	ggepLast    = 0x80
+	ggepCOBS    = 0x40
+	ggepDeflate = 0x20
+	ggepIDMask  = 0x0F
+)
+
+// GGEPExtension is one extension frame.
+type GGEPExtension struct {
+	// ID is the extension identifier, 1-15 bytes ("H" for hash, "ALT" for
+	// alternate locations, "PUSH" for push proxies, ...).
+	ID string
+	// Payload is the extension body.
+	Payload []byte
+}
+
+// GGEP errors.
+var (
+	ErrNotGGEP      = errors.New("gnutella: not a GGEP block")
+	ErrGGEPEncoding = errors.New("gnutella: unsupported GGEP encoding (COBS/deflate)")
+	ErrGGEPFormat   = errors.New("gnutella: malformed GGEP block")
+)
+
+// EncodeGGEP serializes extensions into a GGEP block. IDs must be 1-15
+// bytes; payloads at most 2^18-1 bytes.
+func EncodeGGEP(exts []GGEPExtension) ([]byte, error) {
+	if len(exts) == 0 {
+		return nil, fmt.Errorf("gnutella: empty GGEP block")
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(ggepMagic)
+	for i, e := range exts {
+		if len(e.ID) == 0 || len(e.ID) > 15 {
+			return nil, fmt.Errorf("gnutella: GGEP id %q length %d not in 1..15", e.ID, len(e.ID))
+		}
+		if len(e.Payload) >= 1<<18 {
+			return nil, fmt.Errorf("gnutella: GGEP payload %d bytes exceeds limit", len(e.Payload))
+		}
+		flags := byte(len(e.ID)) & ggepIDMask
+		if i == len(exts)-1 {
+			flags |= ggepLast
+		}
+		buf.WriteByte(flags)
+		buf.WriteString(e.ID)
+		writeGGEPLength(&buf, len(e.Payload))
+		buf.Write(e.Payload)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeGGEPLength emits the 6-bits-per-byte length encoding: non-final
+// bytes carry 0x80, the final byte carries 0x40.
+func writeGGEPLength(buf *bytes.Buffer, n int) {
+	switch {
+	case n < 1<<6:
+		buf.WriteByte(0x40 | byte(n))
+	case n < 1<<12:
+		buf.WriteByte(0x80 | byte(n>>6))
+		buf.WriteByte(0x40 | byte(n&0x3F))
+	default:
+		buf.WriteByte(0x80 | byte(n>>12))
+		buf.WriteByte(0x80 | byte((n>>6)&0x3F))
+		buf.WriteByte(0x40 | byte(n&0x3F))
+	}
+}
+
+// DecodeGGEP parses a GGEP block, returning its extensions.
+func DecodeGGEP(b []byte) ([]GGEPExtension, error) {
+	if len(b) == 0 || b[0] != ggepMagic {
+		return nil, ErrNotGGEP
+	}
+	rest := b[1:]
+	var out []GGEPExtension
+	for {
+		if len(rest) < 1 {
+			return nil, ErrGGEPFormat
+		}
+		flags := rest[0]
+		rest = rest[1:]
+		if flags&(ggepCOBS|ggepDeflate) != 0 {
+			return nil, ErrGGEPEncoding
+		}
+		idLen := int(flags & ggepIDMask)
+		if idLen == 0 || len(rest) < idLen {
+			return nil, ErrGGEPFormat
+		}
+		id := string(rest[:idLen])
+		rest = rest[idLen:]
+		plen := 0
+		for i := 0; ; i++ {
+			if len(rest) < 1 || i == 3 {
+				return nil, ErrGGEPFormat
+			}
+			lb := rest[0]
+			rest = rest[1:]
+			plen = plen<<6 | int(lb&0x3F)
+			if lb&0x40 != 0 {
+				break
+			}
+			if lb&0x80 == 0 {
+				return nil, ErrGGEPFormat
+			}
+		}
+		if len(rest) < plen {
+			return nil, ErrGGEPFormat
+		}
+		out = append(out, GGEPExtension{ID: id, Payload: append([]byte(nil), rest[:plen]...)})
+		rest = rest[plen:]
+		if flags&ggepLast != 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// GGEPFind returns the payload of the first extension with the given ID,
+// or nil.
+func GGEPFind(exts []GGEPExtension, id string) []byte {
+	for _, e := range exts {
+		if e.ID == id {
+			return e.Payload
+		}
+	}
+	return nil
+}
+
+// ParseHitExtensions interprets a Hit's extension area, which servents
+// packed with either plain-text HUGE urns ("urn:sha1:..."), a GGEP block,
+// or both separated by a 0x1C delimiter. It returns any urns and any GGEP
+// extensions found; malformed GGEP is ignored (the urns still parse), as
+// real servents tolerated each other's extension quirks.
+func ParseHitExtensions(ext string) (urns []string, ggep []GGEPExtension) {
+	for _, chunk := range bytes.Split([]byte(ext), []byte{0x1C}) {
+		if len(chunk) == 0 {
+			continue
+		}
+		if chunk[0] == ggepMagic {
+			if exts, err := DecodeGGEP(chunk); err == nil {
+				ggep = append(ggep, exts...)
+			}
+			continue
+		}
+		if bytes.HasPrefix(chunk, []byte("urn:")) {
+			urns = append(urns, string(chunk))
+		}
+	}
+	return urns, ggep
+}

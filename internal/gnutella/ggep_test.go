@@ -1,0 +1,137 @@
+package gnutella
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGGEPRoundTrip(t *testing.T) {
+	exts := []GGEPExtension{
+		{ID: "H", Payload: []byte{0x01, 0xAA, 0xBB}},
+		{ID: "ALT", Payload: bytes.Repeat([]byte{0x42}, 6)},
+		{ID: "PUSH", Payload: nil},
+	}
+	b, err := EncodeGGEP(exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xC3 {
+		t.Fatalf("magic = %#x", b[0])
+	}
+	got, err := DecodeGGEP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("extensions = %d", len(got))
+	}
+	for i := range exts {
+		if got[i].ID != exts[i].ID || !bytes.Equal(got[i].Payload, exts[i].Payload) {
+			t.Fatalf("ext %d: %+v != %+v", i, got[i], exts[i])
+		}
+	}
+}
+
+func TestGGEPLengthEncodings(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 4095, 4096, 100000, (1 << 18) - 1} {
+		exts := []GGEPExtension{{ID: "X", Payload: make([]byte, n)}}
+		b, err := EncodeGGEP(exts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := DecodeGGEP(b)
+		if err != nil {
+			t.Fatalf("n=%d decode: %v", n, err)
+		}
+		if len(got[0].Payload) != n {
+			t.Fatalf("n=%d: round trip %d", n, len(got[0].Payload))
+		}
+	}
+}
+
+func TestGGEPRejectsBadInput(t *testing.T) {
+	if _, err := EncodeGGEP(nil); err == nil {
+		t.Error("empty block encoded")
+	}
+	if _, err := EncodeGGEP([]GGEPExtension{{ID: "", Payload: nil}}); err == nil {
+		t.Error("empty id encoded")
+	}
+	if _, err := EncodeGGEP([]GGEPExtension{{ID: "sixteen-chars-id", Payload: nil}}); err == nil {
+		t.Error("oversized id encoded")
+	}
+	if _, err := EncodeGGEP([]GGEPExtension{{ID: "X", Payload: make([]byte, 1<<18)}}); err == nil {
+		t.Error("oversized payload encoded")
+	}
+	if _, err := DecodeGGEP(nil); err != ErrNotGGEP {
+		t.Error("nil decoded")
+	}
+	if _, err := DecodeGGEP([]byte{0x00, 0x01}); err != ErrNotGGEP {
+		t.Error("wrong magic decoded")
+	}
+	if _, err := DecodeGGEP([]byte{0xC3}); err != ErrGGEPFormat {
+		t.Error("truncated block decoded")
+	}
+	// COBS flag set.
+	if _, err := DecodeGGEP([]byte{0xC3, 0xC1, 'X', 0x40}); err != ErrGGEPEncoding {
+		t.Error("COBS block decoded")
+	}
+	// Length runs past the input.
+	if _, err := DecodeGGEP([]byte{0xC3, 0x81, 'X', 0x45, 0x01}); err == nil {
+		t.Error("truncated payload decoded")
+	}
+}
+
+func TestGGEPFind(t *testing.T) {
+	exts := []GGEPExtension{{ID: "A", Payload: []byte{1}}, {ID: "B", Payload: []byte{2}}}
+	if got := GGEPFind(exts, "B"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Find(B) = %v", got)
+	}
+	if GGEPFind(exts, "C") != nil {
+		t.Fatal("phantom extension found")
+	}
+}
+
+func TestGGEPQuickRoundTrip(t *testing.T) {
+	f := func(idByte byte, payload []byte) bool {
+		id := string([]byte{'A' + idByte%26})
+		if len(payload) >= 1<<18 {
+			payload = payload[:1<<18-1]
+		}
+		b, err := EncodeGGEP([]GGEPExtension{{ID: id, Payload: payload}})
+		if err != nil {
+			return false
+		}
+		got, err := DecodeGGEP(b)
+		return err == nil && len(got) == 1 && got[0].ID == id && bytes.Equal(got[0].Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHitExtensions(t *testing.T) {
+	ggepBlock, _ := EncodeGGEP([]GGEPExtension{{ID: "ALT", Payload: []byte{1, 2, 3, 4, 5, 6}}})
+	ext := "urn:sha1:ABCDEFGHIJKLMNOPQRSTUVWXYZ234567" + string(rune(0x1C)) + string(ggepBlock)
+	urns, exts := ParseHitExtensions(ext)
+	if len(urns) != 1 || urns[0][:9] != "urn:sha1:" {
+		t.Fatalf("urns = %v", urns)
+	}
+	if len(exts) != 1 || exts[0].ID != "ALT" {
+		t.Fatalf("ggep = %+v", exts)
+	}
+	// Plain urn only.
+	urns, exts = ParseHitExtensions("urn:sha1:XYZ")
+	if len(urns) != 1 || len(exts) != 0 {
+		t.Fatalf("plain urn parse: %v %v", urns, exts)
+	}
+	// Garbage chunks are tolerated.
+	urns, exts = ParseHitExtensions("random metadata" + string(rune(0x1C)) + "urn:sha1:OK")
+	if len(urns) != 1 {
+		t.Fatalf("garbage tolerated wrong: %v", urns)
+	}
+	// Empty input.
+	if u, g := ParseHitExtensions(""); u != nil || g != nil {
+		t.Fatal("empty input produced extensions")
+	}
+}

@@ -1,0 +1,732 @@
+package gnutella
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/guid"
+	"p2pmalware/internal/p2p"
+)
+
+// Role is a servent's position in the two-tier Gnutella topology.
+type Role int
+
+const (
+	// Leaf servents connect only to ultrapeers and never forward.
+	Leaf Role = iota
+	// Ultrapeer servents form the flooding mesh and shield leaves via QRP.
+	Ultrapeer
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	if r == Ultrapeer {
+		return "ultrapeer"
+	}
+	return "leaf"
+}
+
+// Config configures a Node.
+type Config struct {
+	// Role selects leaf or ultrapeer behaviour.
+	Role Role
+	// Transport is how the node reaches the network (TCP or in-memory).
+	Transport p2p.Transport
+	// ListenAddr is the address to bind ("ip:port"; in-memory transports
+	// treat it as an opaque key).
+	ListenAddr string
+	// AdvertiseIP and AdvertisePort are placed in pongs, query hits and
+	// handshake headers. They may deliberately differ from ListenAddr —
+	// hosts behind NAT advertised their private addresses, which is
+	// exactly the phenomenon behind the paper's "28% of malicious
+	// responses come from private address ranges".
+	AdvertiseIP   net.IP
+	AdvertisePort uint16
+	// UserAgent is the servent identification; defaults to "SimShare/1.0".
+	UserAgent string
+	// Vendor is the 4-char QHD vendor code; defaults to "SIMU".
+	Vendor string
+	// Library is the node's shared folder; nil means share nothing.
+	Library *p2p.Library
+	// MaxPeers bounds ultrapeer-ultrapeer connections (default 8).
+	MaxPeers int
+	// MaxLeaves bounds leaf slots on an ultrapeer (default 32).
+	MaxLeaves int
+	// Firewalled marks query hits with the push flag: direct downloads
+	// are refused and transfers require the push (GIV) flow.
+	Firewalled bool
+	// OnQueryHit is called for hits answering queries this node issued.
+	OnQueryHit func(qh *QueryHit, msg *Message)
+	// QueryResponder, when set, overrides library matching: it is called
+	// for every query this node sees and may fabricate hits. Query-echo
+	// malware plugs in here. Returning nil yields no response.
+	QueryResponder func(q *Query, msg *Message) []Hit
+	// PromiscuousQRP makes a leaf advertise a saturated QRP table so its
+	// ultrapeers forward it every query — the trick query-echo malware
+	// used to see (and answer) all search traffic.
+	PromiscuousQRP bool
+	// HitLimit caps results per query hit descriptor (default 64).
+	HitLimit int
+	// Logf, when set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Node is one Gnutella servent.
+type Node struct {
+	cfg       Config
+	serventID guid.GUID
+	listener  net.Listener
+
+	mu         sync.Mutex
+	peers      map[*peerConn]bool
+	myQueries  map[guid.GUID]bool
+	closed     bool
+	wg         sync.WaitGroup
+	routes     *routeTable // descriptor GUID -> arrival conn
+	pushRoutes *routeTable // servent GUID -> conn that delivered its hits
+
+	pushMu      sync.Mutex
+	pushWaiters map[string]chan net.Conn // "index:guid" -> GIV delivery
+
+	hostCache *HostCache // endpoints learned from pongs
+}
+
+// peerConn is one established overlay connection. Outbound descriptors go
+// through a bounded queue drained by a dedicated writer goroutine: a
+// reader goroutine must never block on a peer's inbound flow, or two nodes
+// simultaneously replying to each other over synchronous pipes deadlock.
+// When the queue is full the descriptor is dropped, exactly as real
+// servents shed load on slow peers.
+type peerConn struct {
+	node   *Node
+	fc     *Conn
+	info   *HandshakeInfo
+	isLeaf bool // remote is our leaf
+	out    chan *Message
+	done   chan struct{}
+	once   sync.Once
+	qrp    *QRPTable // QRP table received from a leaf
+	qrpMu  sync.Mutex
+}
+
+// sendQueueCap bounds per-peer outbound backlog.
+const sendQueueCap = 512
+
+func newPeerConn(n *Node, fc *Conn, info *HandshakeInfo, isLeaf bool) *peerConn {
+	return &peerConn{
+		node: n, fc: fc, info: info, isLeaf: isLeaf,
+		out:  make(chan *Message, sendQueueCap),
+		done: make(chan struct{}),
+	}
+}
+
+// send enqueues a descriptor for the writer goroutine; it never blocks on
+// the network. A full queue drops the descriptor (flooded descriptors are
+// best-effort), and a closed peer reports an error.
+func (pc *peerConn) send(m *Message) error {
+	select {
+	case <-pc.done:
+		return errors.New("gnutella: peer closed")
+	default:
+	}
+	select {
+	case pc.out <- m:
+		return nil
+	default:
+		return errors.New("gnutella: send queue full, descriptor dropped")
+	}
+}
+
+// writeLoop drains the outbound queue onto the wire.
+func (pc *peerConn) writeLoop() {
+	for {
+		select {
+		case <-pc.done:
+			return
+		case m := <-pc.out:
+			if err := pc.fc.Write(m); err != nil {
+				pc.shutdown()
+				return
+			}
+		}
+	}
+}
+
+// shutdown marks the peer dead and closes the connection, unblocking both
+// loops; safe to call multiple times.
+func (pc *peerConn) shutdown() {
+	pc.once.Do(func() {
+		close(pc.done)
+		pc.fc.Close()
+	})
+}
+
+// NewNode creates a node; Start must be called to go live.
+func NewNode(cfg Config) *Node {
+	if cfg.UserAgent == "" {
+		cfg.UserAgent = "SimShare/1.0"
+	}
+	if cfg.Vendor == "" {
+		cfg.Vendor = "SIMU"
+	}
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 8
+	}
+	if cfg.MaxLeaves <= 0 {
+		cfg.MaxLeaves = 32
+	}
+	if cfg.HitLimit <= 0 {
+		cfg.HitLimit = 64
+	}
+	if cfg.Library == nil {
+		cfg.Library = p2p.NewLibrary()
+	}
+	return &Node{
+		cfg:         cfg,
+		serventID:   guid.New(),
+		peers:       make(map[*peerConn]bool),
+		myQueries:   make(map[guid.GUID]bool),
+		routes:      newRouteTable(0),
+		pushRoutes:  newRouteTable(0),
+		pushWaiters: make(map[string]chan net.Conn),
+		hostCache:   NewHostCache(0),
+	}
+}
+
+// ServentID returns the node's servent GUID.
+func (n *Node) ServentID() guid.GUID { return n.serventID }
+
+// Library returns the node's shared folder.
+func (n *Node) Library() *p2p.Library { return n.cfg.Library }
+
+// Addr returns the bound listen address (valid after Start).
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return n.cfg.ListenAddr
+	}
+	return n.listener.Addr().String()
+}
+
+// AdvertisedEndpoint returns the IP and port the node places in protocol
+// messages.
+func (n *Node) AdvertisedEndpoint() (net.IP, uint16) {
+	return n.cfg.AdvertiseIP, n.cfg.AdvertisePort
+}
+
+// Start binds the listener and begins accepting overlay connections, HTTP
+// transfer requests and GIV callbacks (distinguished by protocol sniffing
+// on the first request line, as real servents did on their single port).
+func (n *Node) Start() error {
+	l, err := n.cfg.Transport.Listen(n.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("gnutella: listen %s: %w", n.cfg.ListenAddr, err)
+	}
+	n.listener = l
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.dispatch(c)
+		}()
+	}
+}
+
+// sniffConn lets the dispatcher peek the first line and still hand the
+// complete stream to the protocol handler.
+type sniffConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+func (s *sniffConn) Read(p []byte) (int, error) { return s.br.Read(p) }
+
+func (n *Node) dispatch(c net.Conn) {
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	peek, err := br.Peek(4)
+	if err != nil {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	sc := &sniffConn{Conn: c, br: br}
+	switch {
+	case string(peek) == "GNUT":
+		n.acceptOverlay(sc)
+	case string(peek) == "GET " || string(peek) == "HEAD":
+		n.serveHTTP(sc)
+	case string(peek) == "GIV ":
+		n.handleGIV(sc)
+	default:
+		c.Close()
+	}
+}
+
+func (n *Node) acceptOverlay(sc *sniffConn) {
+	opts := n.handshakeOptions()
+	info, err := ServerHandshake(sc, sc.br, opts, func(hi *HandshakeInfo) bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.closed {
+			return false
+		}
+		peers, leaves := n.countsLocked()
+		if hi.Ultrapeer {
+			return peers < n.cfg.MaxPeers
+		}
+		return n.cfg.Role == Ultrapeer && leaves < n.cfg.MaxLeaves
+	})
+	if err != nil {
+		sc.Close()
+		return
+	}
+	pc := newPeerConn(n, NewConnFrom(sc.Conn, sc.br), info, !info.Ultrapeer)
+	if !n.addPeer(pc) {
+		sc.Close()
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		pc.writeLoop()
+	}()
+	n.runPeer(pc)
+}
+
+func (n *Node) handshakeOptions() HandshakeOptions {
+	listen := n.cfg.ListenAddr
+	if n.cfg.AdvertiseIP != nil {
+		listen = fmt.Sprintf("%s:%d", n.cfg.AdvertiseIP, n.cfg.AdvertisePort)
+	}
+	return HandshakeOptions{
+		Ultrapeer:  n.cfg.Role == Ultrapeer,
+		UserAgent:  n.cfg.UserAgent,
+		ListenAddr: listen,
+		Timeout:    10 * time.Second,
+	}
+}
+
+// Connect dials a remote servent and joins the overlay through it.
+func (n *Node) Connect(addr string) error {
+	c, err := n.cfg.Transport.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("gnutella: dial %s: %w", addr, err)
+	}
+	br := bufio.NewReaderSize(c, 32<<10)
+	info, err := ClientHandshake(c, br, n.handshakeOptions())
+	if err != nil {
+		c.Close()
+		return err
+	}
+	pc := newPeerConn(n, NewConnFrom(c, br), info, false)
+	if !n.addPeer(pc) {
+		c.Close()
+		return errors.New("gnutella: node closed")
+	}
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		pc.writeLoop()
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.runPeer(pc)
+	}()
+	// A leaf announces its shared keywords to its new ultrapeer.
+	if n.cfg.Role == Leaf {
+		n.sendQRP(pc)
+	}
+	return nil
+}
+
+func (n *Node) sendQRP(pc *peerConn) {
+	t := NewQRPTable(QRPTableBits)
+	if n.cfg.PromiscuousQRP {
+		for slot := uint32(0); slot < uint32(t.NumSlots()); slot++ {
+			t.set(slot)
+		}
+	} else {
+		t.AddLibrary(n.cfg.Library)
+	}
+	reset := &Message{GUID: guid.New(), Type: MsgRouteTable, TTL: 1, Payload: EncodeQRPReset(QRPTableBits)}
+	patch := &Message{GUID: guid.New(), Type: MsgRouteTable, TTL: 1, Payload: EncodeQRPPatch(t)}
+	pc.send(reset)
+	pc.send(patch)
+}
+
+func (n *Node) addPeer(pc *peerConn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.peers[pc] = true
+	return true
+}
+
+func (n *Node) removePeer(pc *peerConn) {
+	n.mu.Lock()
+	delete(n.peers, pc)
+	n.mu.Unlock()
+	n.routes.dropPeer(pc)
+	n.pushRoutes.dropPeer(pc)
+	pc.shutdown()
+}
+
+func (n *Node) countsLocked() (peers, leaves int) {
+	for pc := range n.peers {
+		if pc.isLeaf {
+			leaves++
+		} else {
+			peers++
+		}
+	}
+	return
+}
+
+// NumPeers returns current (ultrapeer, leaf) connection counts.
+func (n *Node) NumPeers() (peers, leaves int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.countsLocked()
+}
+
+func (n *Node) runPeer(pc *peerConn) {
+	defer n.removePeer(pc)
+	for {
+		m, err := pc.fc.Read()
+		if err != nil {
+			return
+		}
+		if err := n.handle(pc, m); err != nil {
+			n.logf("handle %s from %s: %v", m.Type, pc.fc.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+func (n *Node) handle(pc *peerConn, m *Message) error {
+	switch m.Type {
+	case MsgPing:
+		return n.handlePing(pc, m)
+	case MsgPong:
+		return n.handlePong(pc, m)
+	case MsgQuery:
+		return n.handleQuery(pc, m)
+	case MsgQueryHit:
+		return n.handleQueryHit(pc, m)
+	case MsgPush:
+		return n.handlePush(pc, m)
+	case MsgRouteTable:
+		return n.handleRouteTable(pc, m)
+	case MsgBye:
+		return errors.New("bye received")
+	default:
+		// Unknown descriptor types are dropped, per robustness principle.
+		return nil
+	}
+}
+
+func (n *Node) handlePing(pc *peerConn, m *Message) error {
+	lib := n.cfg.Library
+	var kb uint32
+	files := uint32(lib.Len())
+	pong := Pong{Port: n.cfg.AdvertisePort, IP: n.cfg.AdvertiseIP, Files: files, KB: kb}
+	reply := &Message{GUID: m.GUID, Type: MsgPong, TTL: m.Hops + 1, Hops: 0, Payload: pong.Encode()}
+	if err := pc.send(reply); err != nil {
+		return err
+	}
+	// Pong caching (LimeWire-style): a multi-hop ping also harvests our
+	// cached endpoints, letting the pinger discover the overlay without
+	// ping flooding. Ultrapeers additionally advertise their neighbors.
+	if m.TTL > 1 {
+		sent := 0
+		if n.cfg.Role == Ultrapeer {
+			n.mu.Lock()
+			for other := range n.peers {
+				if other == pc || other.info == nil || other.info.ListenIP == nil || other.info.ListenPort == 0 {
+					continue
+				}
+				p := Pong{Port: other.info.ListenPort, IP: other.info.ListenIP}
+				msg := &Message{GUID: m.GUID, Type: MsgPong, TTL: m.Hops + 1, Hops: 1, Payload: p.Encode()}
+				if err := pc.send(msg); err != nil {
+					break
+				}
+				sent++
+				if sent >= 10 {
+					break
+				}
+			}
+			n.mu.Unlock()
+		}
+		for _, p := range n.hostCache.Pongs(10 - sent) {
+			msg := &Message{GUID: m.GUID, Type: MsgPong, TTL: m.Hops + 1, Hops: 1, Payload: p.Encode()}
+			if err := pc.send(msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) handlePong(pc *peerConn, m *Message) error {
+	pong, err := ParsePong(m.Payload)
+	if err != nil {
+		return err
+	}
+	n.hostCache.Add(pong.IP, pong.Port, pong.Files, time.Now())
+	return nil
+}
+
+func (n *Node) handleQuery(pc *peerConn, m *Message) error {
+	q, err := ParseQuery(m.Payload)
+	if err != nil {
+		return err
+	}
+	// Duplicate suppression + reverse-path recording in one step.
+	if !n.routes.add(m.GUID, pc) {
+		return nil
+	}
+	// Answer locally.
+	hits := n.answer(&q, m)
+	if len(hits) > 0 {
+		qh := &QueryHit{
+			Port:      n.cfg.AdvertisePort,
+			IP:        n.cfg.AdvertiseIP,
+			Speed:     1000,
+			Hits:      hits,
+			Vendor:    n.cfg.Vendor,
+			ServentID: n.serventID,
+		}
+		if n.cfg.Firewalled {
+			qh.Flags |= QHDPush
+		}
+		payload, err := qh.Encode()
+		if err != nil {
+			return err
+		}
+		reply := &Message{GUID: m.GUID, Type: MsgQueryHit, TTL: m.Hops + 1, Hops: 0, Payload: payload}
+		if err := pc.send(reply); err != nil {
+			return err
+		}
+	}
+	// Forward.
+	if n.cfg.Role != Ultrapeer || m.TTL <= 1 {
+		return nil
+	}
+	fwd := &Message{GUID: m.GUID, Type: MsgQuery, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
+	n.mu.Lock()
+	targets := make([]*peerConn, 0, len(n.peers))
+	for other := range n.peers {
+		if other == pc {
+			continue
+		}
+		if other.isLeaf {
+			other.qrpMu.Lock()
+			match := other.qrp != nil && other.qrp.MightMatch(q.Criteria)
+			other.qrpMu.Unlock()
+			if !match {
+				continue
+			}
+		}
+		targets = append(targets, other)
+	}
+	n.mu.Unlock()
+	for _, t := range targets {
+		t.send(fwd)
+	}
+	return nil
+}
+
+// answer produces this node's own hits for a query.
+func (n *Node) answer(q *Query, m *Message) []Hit {
+	if n.cfg.QueryResponder != nil {
+		return n.cfg.QueryResponder(q, m)
+	}
+	files := n.cfg.Library.Match(q.Criteria, n.cfg.HitLimit)
+	hits := make([]Hit, 0, len(files))
+	for _, f := range files {
+		hits = append(hits, Hit{Index: f.Index, Size: uint32(f.Size), Name: f.Name, Extensions: f.SHA1})
+	}
+	return hits
+}
+
+func (n *Node) handleQueryHit(pc *peerConn, m *Message) error {
+	qh, err := ParseQueryHit(m.Payload)
+	if err != nil {
+		return err
+	}
+	// Remember the path to the responding servent for push routing.
+	n.pushRoutes.add(qh.ServentID, pc)
+
+	n.mu.Lock()
+	mine := n.myQueries[m.GUID]
+	n.mu.Unlock()
+	if mine {
+		if n.cfg.OnQueryHit != nil {
+			n.cfg.OnQueryHit(&qh, m)
+		}
+		return nil
+	}
+	dest := n.routes.lookup(m.GUID)
+	if dest == nil || m.TTL <= 1 {
+		return nil
+	}
+	fwd := &Message{GUID: m.GUID, Type: MsgQueryHit, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
+	return dest.send(fwd)
+}
+
+func (n *Node) handlePush(pc *peerConn, m *Message) error {
+	p, err := ParsePush(m.Payload)
+	if err != nil {
+		return err
+	}
+	if p.ServentID == n.serventID {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.performPush(p)
+		}()
+		return nil
+	}
+	dest := n.pushRoutes.lookup(p.ServentID)
+	if dest == nil || m.TTL <= 1 {
+		return nil
+	}
+	fwd := &Message{GUID: m.GUID, Type: MsgPush, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
+	return dest.send(fwd)
+}
+
+func (n *Node) handleRouteTable(pc *peerConn, m *Message) error {
+	pc.qrpMu.Lock()
+	defer pc.qrpMu.Unlock()
+	next, err := ApplyQRPUpdate(pc.qrp, m.Payload)
+	if err != nil {
+		return err
+	}
+	pc.qrp = next
+	return nil
+}
+
+// Query floods a keyword search and returns its GUID; hits arrive on
+// Config.OnQueryHit.
+func (n *Node) Query(criteria string, extensions string) (guid.GUID, error) {
+	g := guid.New()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return g, errors.New("gnutella: node closed")
+	}
+	n.myQueries[g] = true
+	targets := make([]*peerConn, 0, len(n.peers))
+	for pc := range n.peers {
+		if !pc.isLeaf {
+			targets = append(targets, pc)
+		}
+	}
+	n.mu.Unlock()
+	if len(targets) == 0 {
+		return g, errors.New("gnutella: no peers to query")
+	}
+	q := Query{MinSpeed: 0, Criteria: criteria, Extensions: extensions}
+	m := &Message{GUID: g, Type: MsgQuery, TTL: DefaultTTL, Hops: 0, Payload: q.Encode()}
+	for _, pc := range targets {
+		pc.send(m)
+	}
+	return g, nil
+}
+
+// Ping sends a TTL-1 ping on every connection (liveness probe).
+func (n *Node) Ping() { n.PingTTL(1) }
+
+// PingTTL sends a ping with the given TTL on every connection; TTL > 1
+// also harvests cached pongs from ultrapeers (host discovery).
+func (n *Node) PingTTL(ttl byte) {
+	m := &Message{GUID: guid.New(), Type: MsgPing, TTL: ttl}
+	n.mu.Lock()
+	targets := make([]*peerConn, 0, len(n.peers))
+	for pc := range n.peers {
+		targets = append(targets, pc)
+	}
+	n.mu.Unlock()
+	for _, pc := range targets {
+		pc.send(m)
+	}
+}
+
+// SendPush routes a push request toward the servent that produced a hit.
+// The hit must have been received by this node (so a push route exists).
+func (n *Node) SendPush(serventID guid.GUID, index uint32, ip net.IP, port uint16) error {
+	p := Push{ServentID: serventID, Index: index, IP: ip, Port: port}
+	m := &Message{GUID: guid.New(), Type: MsgPush, TTL: DefaultTTL, Payload: p.Encode()}
+	dest := n.pushRoutes.lookup(serventID)
+	if dest == nil {
+		return errors.New("gnutella: no push route to servent")
+	}
+	return dest.send(m)
+}
+
+// Close shuts the node down: listener, every connection, and waits for all
+// handler goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := make([]*peerConn, 0, len(n.peers))
+	for pc := range n.peers {
+		peers = append(peers, pc)
+	}
+	n.mu.Unlock()
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	bye := &Message{GUID: guid.New(), Type: MsgBye, TTL: 1, Payload: Bye{Code: 200, Reason: "shutting down"}.Encode()}
+	for _, pc := range peers {
+		pc.send(bye)
+	}
+	// Give the writers a moment to flush the byes, then tear down.
+	time.Sleep(5 * time.Millisecond)
+	for _, pc := range peers {
+		pc.shutdown()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// splitHostPort is a helper tolerant of mem-transport addresses.
+func splitHostPort(addr string) (string, uint16) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr, 0
+	}
+	var p int
+	fmt.Sscanf(portStr, "%d", &p)
+	if p < 0 || p > 65535 {
+		p = 0
+	}
+	return host, uint16(p)
+}

@@ -1,0 +1,212 @@
+package gnutella
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"p2pmalware/internal/p2p"
+)
+
+// QRP (Query Routing Protocol) lets a leaf describe its shared keywords to
+// its ultrapeers as a hash bitmap, so ultrapeers forward only queries that
+// can possibly match. This file implements the standard QRP hash function
+// (Rohrs' multiplication hash) and a route table exchanged via the 0x30
+// route-table-update descriptor.
+//
+// Simplification vs. the full spec (documented per DESIGN.md): patches are
+// sent uncompressed with one byte per slot (0 = empty, 1 = present) in a
+// single patch message, rather than zlib-compressed 4-bit deltas split
+// across fragments. The semantics ultrapeers rely on — "may this leaf match
+// this keyword set?" — are identical.
+
+// QRPTableBits is log2 of the default table size; 2^16 slots was the
+// LimeWire default.
+const QRPTableBits = 16
+
+// qrpA is the golden-ratio multiplier from the QRP specification.
+const qrpA uint32 = 0x4F1BBCDC
+
+// QRPHash returns the QRP slot for a keyword in a table of 2^bits slots,
+// per the standard algorithm: bytes are lower-cased and XORed into a
+// little-endian 32-bit accumulator, multiplied by the golden-ratio
+// constant, keeping the top `bits` of the low word.
+func QRPHash(keyword string, bits uint) uint32 {
+	var x uint32
+	var j uint
+	for i := 0; i < len(keyword); i++ {
+		b := keyword[i]
+		if b >= 'A' && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		x ^= uint32(b) << (j * 8)
+		j = (j + 1) & 3
+	}
+	prod := uint64(x) * uint64(qrpA)
+	return uint32(prod&0xFFFFFFFF) >> (32 - bits)
+}
+
+// QRPTable is a keyword-presence bitmap.
+type QRPTable struct {
+	bits  uint
+	slots []byte // 1 bit per slot, packed
+	count int
+}
+
+// NewQRPTable returns an empty table with 2^bits slots.
+func NewQRPTable(bits uint) *QRPTable {
+	if bits == 0 || bits > 24 {
+		panic(fmt.Sprintf("gnutella: unreasonable QRP bits %d", bits))
+	}
+	return &QRPTable{bits: bits, slots: make([]byte, (1<<bits)/8)}
+}
+
+// Bits returns log2 of the table size.
+func (t *QRPTable) Bits() uint { return t.bits }
+
+// NumSlots returns the table size.
+func (t *QRPTable) NumSlots() int { return 1 << t.bits }
+
+// Count returns the number of set slots.
+func (t *QRPTable) Count() int { return t.count }
+
+// set marks a slot.
+func (t *QRPTable) set(slot uint32) {
+	byteIdx, bit := slot/8, byte(1)<<(slot%8)
+	if t.slots[byteIdx]&bit == 0 {
+		t.slots[byteIdx] |= bit
+		t.count++
+	}
+}
+
+// Has reports whether a slot is set.
+func (t *QRPTable) Has(slot uint32) bool {
+	return t.slots[slot/8]&(byte(1)<<(slot%8)) != 0
+}
+
+// AddKeyword marks the keyword's slot.
+func (t *QRPTable) AddKeyword(kw string) {
+	t.set(QRPHash(kw, t.bits))
+}
+
+// AddLibrary marks every keyword of every shared file.
+func (t *QRPTable) AddLibrary(lib *p2p.Library) {
+	for _, kw := range lib.AllKeywords() {
+		t.AddKeyword(kw)
+	}
+}
+
+// MightMatch reports whether a query could match behind this table: every
+// query keyword's slot must be set (AND semantics, like servents used).
+// Queries with no indexable keywords are not forwarded.
+func (t *QRPTable) MightMatch(query string) bool {
+	kws := p2p.Keywords(query)
+	if len(kws) == 0 {
+		return false
+	}
+	for _, kw := range kws {
+		if !t.Has(QRPHash(kw, t.bits)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Route-table-update payload variants.
+const (
+	qrpVariantReset byte = 0x00
+	qrpVariantPatch byte = 0x01
+)
+
+// EncodeQRPReset builds the reset message payload: variant, table length
+// (4 bytes LE, in slots), infinity byte (unused by our simplified patch).
+func EncodeQRPReset(bits uint) []byte {
+	b := make([]byte, 6)
+	b[0] = qrpVariantReset
+	binary.LittleEndian.PutUint32(b[1:], uint32(1)<<bits)
+	b[5] = 2 // "infinity" per spec; carried for wire parity
+	return b
+}
+
+// EncodeQRPPatch builds our simplified single-fragment patch payload:
+// variant, seq 1/1, compressor 0 (none), entry-bits 1, then one byte per
+// 8 slots (the packed bitmap).
+func EncodeQRPPatch(t *QRPTable) []byte {
+	b := make([]byte, 5, 5+len(t.slots))
+	b[0] = qrpVariantPatch
+	b[1] = 1 // seq no
+	b[2] = 1 // seq size
+	b[3] = 0 // compressor: none
+	b[4] = 1 // entry bits
+	return append(b, t.slots...)
+}
+
+// ApplyQRPUpdate folds a route-table-update payload into table state,
+// returning the updated table. A reset payload returns a fresh empty table
+// of the advertised size; a patch overwrites the bitmap.
+func ApplyQRPUpdate(cur *QRPTable, payload []byte) (*QRPTable, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: qrp update empty", ErrShortPayload)
+	}
+	switch payload[0] {
+	case qrpVariantReset:
+		if len(payload) < 6 {
+			return nil, fmt.Errorf("%w: qrp reset is %d bytes", ErrShortPayload, len(payload))
+		}
+		slots := binary.LittleEndian.Uint32(payload[1:])
+		bits := uint(0)
+		for s := slots; s > 1; s >>= 1 {
+			bits++
+		}
+		if uint32(1)<<bits != slots || bits == 0 || bits > 24 {
+			return nil, fmt.Errorf("gnutella: qrp reset with non-power-of-two size %d", slots)
+		}
+		return NewQRPTable(bits), nil
+	case qrpVariantPatch:
+		if cur == nil {
+			return nil, fmt.Errorf("gnutella: qrp patch before reset")
+		}
+		if len(payload) < 5 {
+			return nil, fmt.Errorf("%w: qrp patch is %d bytes", ErrShortPayload, len(payload))
+		}
+		if payload[3] != 0 {
+			return nil, fmt.Errorf("gnutella: unsupported qrp compressor %d", payload[3])
+		}
+		body := payload[5:]
+		if len(body) != len(cur.slots) {
+			return nil, fmt.Errorf("gnutella: qrp patch size %d, table needs %d", len(body), len(cur.slots))
+		}
+		next := NewQRPTable(cur.bits)
+		copy(next.slots, body)
+		next.count = 0
+		for _, by := range next.slots {
+			for ; by != 0; by &= by - 1 {
+				next.count++
+			}
+		}
+		return next, nil
+	default:
+		return nil, fmt.Errorf("gnutella: unknown qrp variant %d", payload[0])
+	}
+}
+
+// QueryMatchesName reports whether a query's keywords all appear in a
+// filename — the final (non-probabilistic) check servents applied to their
+// own library; used by tests to cross-validate QRP's no-false-negative
+// property.
+func QueryMatchesName(query, name string) bool {
+	nameKws := make(map[string]bool)
+	for _, kw := range p2p.Keywords(name) {
+		nameKws[kw] = true
+	}
+	kws := p2p.Keywords(query)
+	if len(kws) == 0 {
+		return false
+	}
+	for _, kw := range kws {
+		if !nameKws[strings.ToLower(kw)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package gnutella
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2pmalware/internal/p2p"
+)
+
+func TestQRPHashInRange(t *testing.T) {
+	f := func(s string) bool {
+		return QRPHash(s, 16) < (1 << 16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRPHashCaseInsensitive(t *testing.T) {
+	if QRPHash("Britney", 16) != QRPHash("britney", 16) {
+		t.Fatal("hash is case sensitive")
+	}
+}
+
+func TestQRPHashSpreads(t *testing.T) {
+	words := []string{"britney", "spears", "linux", "kernel", "movie", "album", "setup", "game"}
+	slots := make(map[uint32]bool)
+	for _, w := range words {
+		slots[QRPHash(w, 16)] = true
+	}
+	if len(slots) < len(words)-1 {
+		t.Fatalf("too many collisions: %d slots for %d words", len(slots), len(words))
+	}
+}
+
+func TestQRPTableNoFalseNegatives(t *testing.T) {
+	// QRP's core guarantee: if a library matches a query, the table built
+	// from that library must say MightMatch.
+	lib := p2p.NewLibrary()
+	names := []string{
+		"britney spears toxic.mp3",
+		"ubuntu linux install.iso",
+		"holiday photos 2006.zip",
+		"free game crack.exe",
+	}
+	for _, name := range names {
+		lib.Add(p2p.StaticFile(name, []byte(name)))
+	}
+	table := NewQRPTable(QRPTableBits)
+	table.AddLibrary(lib)
+	queries := []string{"britney toxic", "ubuntu linux", "holiday 2006", "game crack", "crack"}
+	for _, q := range queries {
+		if len(lib.Match(q, 0)) > 0 && !table.MightMatch(q) {
+			t.Errorf("false negative for %q", q)
+		}
+	}
+}
+
+func TestQRPTableFiltersNonMatching(t *testing.T) {
+	lib := p2p.NewLibrary()
+	lib.Add(p2p.StaticFile("one specific file.exe", []byte("x")))
+	table := NewQRPTable(QRPTableBits)
+	table.AddLibrary(lib)
+	misses := 0
+	probes := []string{"completely different", "unrelated query", "zzz yyy", "qwerty asdf"}
+	for _, q := range probes {
+		if !table.MightMatch(q) {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("table never filters anything")
+	}
+}
+
+func TestQRPEmptyQueryNotForwarded(t *testing.T) {
+	table := NewQRPTable(QRPTableBits)
+	if table.MightMatch("") || table.MightMatch("!!!") {
+		t.Fatal("unindexable query matched")
+	}
+}
+
+func TestQRPResetPatchRoundTrip(t *testing.T) {
+	src := NewQRPTable(QRPTableBits)
+	for _, kw := range []string{"alpha", "bravo", "charlie"} {
+		src.AddKeyword(kw)
+	}
+	cur, err := ApplyQRPUpdate(nil, EncodeQRPReset(QRPTableBits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Count() != 0 || cur.Bits() != QRPTableBits {
+		t.Fatalf("reset table: count=%d bits=%d", cur.Count(), cur.Bits())
+	}
+	cur, err = ApplyQRPUpdate(cur, EncodeQRPPatch(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Count() != src.Count() {
+		t.Fatalf("patched count = %d, want %d", cur.Count(), src.Count())
+	}
+	for _, kw := range []string{"alpha", "bravo", "charlie"} {
+		if !cur.MightMatch(kw) {
+			t.Errorf("patched table lost %q", kw)
+		}
+	}
+}
+
+func TestQRPPatchBeforeResetFails(t *testing.T) {
+	src := NewQRPTable(QRPTableBits)
+	if _, err := ApplyQRPUpdate(nil, EncodeQRPPatch(src)); err == nil {
+		t.Fatal("patch before reset accepted")
+	}
+}
+
+func TestQRPBadUpdates(t *testing.T) {
+	cur := NewQRPTable(QRPTableBits)
+	bad := [][]byte{
+		{},
+		{0x05},                   // unknown variant
+		{0x00, 1, 0},             // short reset
+		{0x00, 3, 0, 0, 0, 2},    // non-power-of-two size
+		{0x01, 1, 1, 9, 1},       // unsupported compressor
+		{0x01, 1, 1, 0, 1, 0xFF}, // wrong patch size
+	}
+	for i, payload := range bad {
+		if _, err := ApplyQRPUpdate(cur, payload); err == nil {
+			t.Errorf("bad update %d accepted", i)
+		}
+	}
+}
+
+func TestQueryMatchesName(t *testing.T) {
+	if !QueryMatchesName("britney toxic", "Britney Spears - Toxic.mp3") {
+		t.Fatal("expected match")
+	}
+	if QueryMatchesName("britney metallica", "Britney Spears - Toxic.mp3") {
+		t.Fatal("unexpected match")
+	}
+	if QueryMatchesName("", "file.exe") {
+		t.Fatal("empty query matched")
+	}
+}
+
+func TestQRPTablePanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewQRPTable(0)
+}

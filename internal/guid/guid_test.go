@@ -1,0 +1,152 @@
+package guid
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsModern(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		g := New()
+		if !g.IsModern() {
+			t.Fatalf("New() = %v, not modern-marked", g)
+		}
+		if g.IsZero() {
+			t.Fatalf("New() returned zero GUID")
+		}
+	}
+}
+
+func TestNewUnique(t *testing.T) {
+	seen := make(map[GUID]bool)
+	for i := 0; i < 1000; i++ {
+		g := New()
+		if seen[g] {
+			t.Fatalf("duplicate GUID %v after %d draws", g, i)
+		}
+		seen[g] = true
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	g := New()
+	b := g.Bytes()
+	if len(b) != Size {
+		t.Fatalf("Bytes len = %d, want %d", len(b), Size)
+	}
+	g2, err := FromBytes(b)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if g != g2 {
+		t.Fatalf("round trip mismatch: %v != %v", g, g2)
+	}
+}
+
+func TestBytesIsCopy(t *testing.T) {
+	g := New()
+	b := g.Bytes()
+	b[0] ^= 0xFF
+	if g[0] == b[0] {
+		t.Fatal("Bytes() aliases internal array")
+	}
+}
+
+func TestFromBytesBadLength(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		if _, err := FromBytes(make([]byte, n)); err != ErrBadLength {
+			t.Errorf("FromBytes(len %d) err = %v, want ErrBadLength", n, err)
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	g := New()
+	s := g.String()
+	if len(s) != 32 {
+		t.Fatalf("String len = %d, want 32", len(s))
+	}
+	if s != strings.ToLower(s) {
+		t.Fatalf("String not lower-case: %q", s)
+	}
+	g2, err := FromString(s)
+	if err != nil {
+		t.Fatalf("FromString: %v", err)
+	}
+	if g != g2 {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString("abcd"); err != ErrBadLength {
+		t.Errorf("short string err = %v, want ErrBadLength", err)
+	}
+	if _, err := FromString(strings.Repeat("zz", 16)); err == nil {
+		t.Errorf("non-hex string accepted")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if New().IsZero() {
+		t.Fatal("New().IsZero() = true")
+	}
+}
+
+func TestOOBRoundTrip(t *testing.T) {
+	g := New()
+	ip := net.IPv4(10, 20, 30, 40)
+	marked := g.MarkOOB(ip, 6346)
+	gotIP, gotPort := marked.OOBAddr()
+	if !gotIP.Equal(ip) {
+		t.Errorf("OOB IP = %v, want %v", gotIP, ip)
+	}
+	if gotPort != 6346 {
+		t.Errorf("OOB port = %d, want 6346", gotPort)
+	}
+}
+
+func TestOOBIgnoresIPv6(t *testing.T) {
+	g := New()
+	marked := g.MarkOOB(net.ParseIP("2001:db8::1"), 1234)
+	if marked != g {
+		t.Error("MarkOOB with IPv6 modified the GUID")
+	}
+}
+
+func TestNewFromRandDeterministic(t *testing.T) {
+	mk := func() GUID {
+		i := byte(0)
+		return NewFromRand(func(p []byte) (int, error) {
+			for j := range p {
+				p[j] = i
+				i++
+			}
+			return len(p), nil
+		})
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatal("NewFromRand not deterministic for identical sources")
+	}
+	if !a.IsModern() {
+		t.Fatal("NewFromRand result not modern-marked")
+	}
+}
+
+func TestQuickOOBPortRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, port uint16) bool {
+		g := New().MarkOOB(net.IPv4(a, b, c, d), port)
+		ip, p := g.OOBAddr()
+		return bytes.Equal(ip.To4(), []byte{a, b, c, d}) && p == port
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"p2pmalware/internal/ipaddr"
+	"p2pmalware/internal/malware"
+	"p2pmalware/internal/stats"
+	"p2pmalware/internal/workload"
+)
+
+func TestApportion(t *testing.T) {
+	got := apportion(33, []float64{0.62, 0.31, 0.06})
+	if got[0]+got[1]+got[2] != 33 {
+		t.Fatalf("apportion sum = %v", got)
+	}
+	if got[0] < got[1] || got[1] < got[2] {
+		t.Fatalf("apportion not monotone: %v", got)
+	}
+	if got[2] == 0 {
+		t.Fatalf("small weight starved: %v", got)
+	}
+	zero := apportion(0, []float64{1, 2})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("apportion(0) nonzero")
+	}
+}
+
+func TestMassAssignment(t *testing.T) {
+	gen, _ := workload.NewGenerator(stats.NewRNG(1, 1), workload.DefaultCorpus(), 1.0)
+	ranks := massAssignment(gen, 0, 0.3)
+	var mass float64
+	for _, r := range ranks {
+		mass += gen.TermProbability(r)
+	}
+	if mass < 0.3 || mass > 0.55 {
+		t.Fatalf("forward mass = %v", mass)
+	}
+	// The deep walk may stop just short of the target when that is closer
+	// than overshooting; require closeness, not a lower bound.
+	deep := massAssignmentDeep(gen, 0.02)
+	var deepMass float64
+	for _, r := range deep {
+		deepMass += gen.TermProbability(r)
+	}
+	if deepMass < 0.015 || deepMass > 0.035 {
+		t.Fatalf("deep mass = %v (ranks %v)", deepMass, deep)
+	}
+}
+
+func TestBuildLimeWireStructure(t *testing.T) {
+	net_, err := BuildLimeWire(LimeWireConfig{Seed: 1, Ultrapeers: 2, HonestLeaves: 10, EchoHosts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+
+	if len(net_.Ultrapeers) != 2 {
+		t.Fatalf("ultrapeers = %d", len(net_.Ultrapeers))
+	}
+	kinds := map[HostKind]int{}
+	privEcho, echo := 0, 0
+	for _, s := range net_.Specs {
+		kinds[s.Kind]++
+		if s.Kind == KindEchoMalware {
+			echo++
+			if ipaddr.IsPrivate(s.IP) {
+				privEcho++
+				if !s.Firewalled {
+					t.Error("private echo host not firewalled")
+				}
+			}
+		}
+	}
+	if kinds[KindHonestLeaf] != 10 || kinds[KindEchoMalware] != 8 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if kinds[KindTailInfected] == 0 {
+		t.Fatal("no tail-infected hosts")
+	}
+	// 28% of 8 echo hosts = 2.24 -> expect 2 private.
+	if privEcho != 2 {
+		t.Fatalf("private echo hosts = %d, want 2", privEcho)
+	}
+	// Echo family mix follows catalog weights: heaviest family most hosts.
+	fams := map[string]int{}
+	for _, s := range net_.Specs {
+		if s.Kind == KindEchoMalware {
+			fams[s.Family.Name]++
+		}
+	}
+	if fams["W32.Sivex.A"] < fams["W32.Dulmer.B"] {
+		t.Fatalf("family apportion wrong: %v", fams)
+	}
+	// All ultrapeers see their leaves; registration on the accepting side
+	// completes asynchronously after Connect returns, so poll.
+	want := kinds[KindHonestLeaf] + kinds[KindEchoMalware] + kinds[KindTailInfected]
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		totalLeaves := 0
+		for _, up := range net_.Ultrapeers {
+			_, l := up.NumPeers()
+			totalLeaves += l
+		}
+		if totalLeaves == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("connected leaves = %d, want %d", totalLeaves, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBuildLimeWireDeterministic(t *testing.T) {
+	build := func() []string {
+		net_, err := BuildLimeWire(LimeWireConfig{Seed: 42, Ultrapeers: 2, HonestLeaves: 5, EchoHosts: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net_.Close()
+		var out []string
+		for _, s := range net_.Specs {
+			out = append(out, string(s.Kind)+"/"+s.Addr())
+		}
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("different population sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildOpenFTStructure(t *testing.T) {
+	net_, err := BuildOpenFT(OpenFTConfig{Seed: 1, SearchNodes: 2, HonestUsers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+
+	if len(net_.SearchNodes) != 2 {
+		t.Fatalf("search nodes = %d", len(net_.SearchNodes))
+	}
+	kinds := map[HostKind]int{}
+	ferroxHosts := 0
+	for _, s := range net_.Specs {
+		kinds[s.Kind]++
+		if s.Kind == KindInfectedUser && s.Family.Name == "W32.Ferrox.A" {
+			ferroxHosts++
+		}
+	}
+	if kinds[KindHonestUser] != 10 {
+		t.Fatalf("honest users = %d", kinds[KindHonestUser])
+	}
+	if kinds[KindInfectedUser] == 0 {
+		t.Fatal("no infected users")
+	}
+	// The paper's superspreader: exactly one host serves the top virus.
+	if ferroxHosts != 1 {
+		t.Fatalf("Ferrox hosts = %d, want 1", ferroxHosts)
+	}
+}
+
+func TestBuildOpenFTNoEchoFamiliesInCatalog(t *testing.T) {
+	for _, f := range malware.OpenFTCatalog().Families {
+		if f.Strategy == malware.QueryEcho {
+			t.Fatalf("OpenFT catalog family %s uses query-echo", f.Name)
+		}
+	}
+}
+
+func TestHonestFileNaming(t *testing.T) {
+	rng := stats.NewRNG(5, 5)
+	term := workload.Term{Text: "photoshop", Category: workload.Software}
+	dl := honestFile(term, 1, true, rng)
+	if dl.Size <= 0 {
+		t.Fatal("downloadable honest file empty")
+	}
+	data, err := dl.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != dl.Size {
+		t.Fatalf("lazy size mismatch: %d vs %d", len(data), dl.Size)
+	}
+	media := honestFile(term, 2, false, rng)
+	if _, err := media.Data(); err == nil {
+		t.Fatal("media content materialized")
+	}
+	if media.Size < 1_000_000 {
+		t.Fatalf("media size = %d", media.Size)
+	}
+}
+
+func TestInfectedFileCarriesSpecimen(t *testing.T) {
+	f := malware.LimeWireCatalog().Families[0]
+	term := workload.Term{Text: "star wars episode", Category: workload.Movies}
+	inf, err := infectedFile(f, 0, term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Size != f.VariantSize(0) {
+		t.Fatalf("infected size = %d", inf.Size)
+	}
+	data, _ := inf.Data()
+	if int64(len(data)) != f.VariantSize(0) {
+		t.Fatal("specimen truncated")
+	}
+}
+
+func TestChurnHonest(t *testing.T) {
+	net_, err := BuildLimeWire(LimeWireConfig{Seed: 3, Ultrapeers: 2, HonestLeaves: 20, EchoHosts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+	before := net_.LiveHonestLeaves()
+	if before != 20 {
+		t.Fatalf("live honest = %d", before)
+	}
+	oldAddrs := map[string]bool{}
+	for _, s := range net_.Specs {
+		if s.Kind == KindHonestLeaf {
+			oldAddrs[s.Addr()] = true
+		}
+	}
+	replaced, err := net_.ChurnHonest(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced != 5 {
+		t.Fatalf("replaced = %d, want 5", replaced)
+	}
+	if got := net_.LiveHonestLeaves(); got != 20 {
+		t.Fatalf("live honest after churn = %d", got)
+	}
+	// Replacements get fresh addresses.
+	fresh := 0
+	for _, s := range net_.Specs[len(net_.Specs)-5:] {
+		if s.Kind != KindHonestLeaf {
+			t.Fatalf("replacement kind = %s", s.Kind)
+		}
+		if !oldAddrs[s.Addr()] {
+			fresh++
+		}
+	}
+	if fresh != 5 {
+		t.Fatalf("fresh addresses = %d", fresh)
+	}
+	// Ultrapeers still carry the same number of leaves eventually.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, up := range net_.Ultrapeers {
+			_, l := up.NumPeers()
+			total += l
+		}
+		want := 20 + 4 + tailCount(net_)
+		if total == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaf count = %d, want %d", total, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func tailCount(n *LimeWireNet) int {
+	c := 0
+	for _, s := range n.Specs {
+		if s.Kind == KindTailInfected {
+			c++
+		}
+	}
+	return c
+}
+
+func TestChurnZeroFrac(t *testing.T) {
+	net_, err := BuildLimeWire(LimeWireConfig{Seed: 4, Ultrapeers: 1, HonestLeaves: 5, EchoHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+	if n, err := net_.ChurnHonest(0); n != 0 || err != nil {
+		t.Fatalf("zero churn = %d, %v", n, err)
+	}
+}
+
+func TestFakeFile(t *testing.T) {
+	rng := stats.NewRNG(9, 9)
+	term := workload.Term{Text: "photoshop", Category: workload.Software}
+	f := fakeFile(term, 1, rng)
+	if f.Size < 1_000_000 {
+		t.Fatalf("advertised size = %d", f.Size)
+	}
+	data, err := f.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) == f.Size {
+		t.Fatal("decoy content matches advertised size")
+	}
+	if len(data) < 2048 || len(data) > 8192 {
+		t.Fatalf("true size = %d", len(data))
+	}
+}
+
+func TestBuildLimeWireWithFakeFiles(t *testing.T) {
+	net_, err := BuildLimeWire(LimeWireConfig{Seed: 8, Ultrapeers: 1, HonestLeaves: 20,
+		EchoHosts: 2, FakeFileShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+	// At least one honest leaf must carry a decoy (advertised exe/zip
+	// whose lazy content size differs). Sample libraries via downloads is
+	// heavy; instead trust construction + the fakeFile unit test, and
+	// just assert the build is sound.
+	if net_.LiveHonestLeaves() != 20 {
+		t.Fatalf("leaves = %d", net_.LiveHonestLeaves())
+	}
+}

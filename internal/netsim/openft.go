@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"fmt"
+
+	"p2pmalware/internal/ipaddr"
+	"p2pmalware/internal/malware"
+	"p2pmalware/internal/openft"
+	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/stats"
+	"p2pmalware/internal/workload"
+)
+
+// OpenFTConfig sizes the simulated OpenFT universe.
+type OpenFTConfig struct {
+	// Seed drives all population randomness.
+	Seed uint64
+	// SearchNodes is the SEARCH-tier size (default 3; the first also
+	// carries the INDEX class).
+	SearchNodes int
+	// HonestUsers is the number of honest USER hosts (default 60).
+	HonestUsers int
+	// FilesPerUser is each honest user's shared-folder size (default 8).
+	FilesPerUser int
+	// HonestDownloadableShare is the archive/executable fraction of
+	// honest shares (default 0.42, calibrated so ~3% of downloadable
+	// responses are malicious).
+	HonestDownloadableShare float64
+	// MaliciousShare is the target fraction of downloadable responses
+	// that are malicious (default 0.03 — the paper's OpenFT headline).
+	MaliciousShare float64
+	// Catalog is the malware ecology (default malware.OpenFTCatalog).
+	Catalog *malware.Catalog
+	// ZipfExponent matches the measurement driver's query skew
+	// (default 1.0).
+	ZipfExponent float64
+}
+
+func (c *OpenFTConfig) applyDefaults() {
+	if c.SearchNodes <= 0 {
+		c.SearchNodes = 3
+	}
+	if c.HonestUsers <= 0 {
+		c.HonestUsers = 60
+	}
+	if c.FilesPerUser <= 0 {
+		c.FilesPerUser = 8
+	}
+	if c.HonestDownloadableShare == 0 {
+		c.HonestDownloadableShare = 0.42
+	}
+	if c.MaliciousShare == 0 {
+		c.MaliciousShare = 0.03
+	}
+	if c.Catalog == nil {
+		c.Catalog = malware.OpenFTCatalog()
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 1.0
+	}
+}
+
+// OpenFTNet is a running simulated OpenFT universe.
+type OpenFTNet struct {
+	// Mem is the transport universe.
+	Mem *p2p.Mem
+	// SearchNodes are the SEARCH-tier nodes the instrumented client
+	// connects to.
+	SearchNodes []*openft.Node
+	// Nodes are all running nodes.
+	Nodes []*openft.Node
+	// Specs describe every synthesized host, parallel to Nodes.
+	Specs []*HostSpec
+}
+
+// SearchAddrs returns dialable SEARCH-node addresses.
+func (n *OpenFTNet) SearchAddrs() []string {
+	out := make([]string, len(n.SearchNodes))
+	for i, s := range n.SearchNodes {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// Close shuts every node down.
+func (n *OpenFTNet) Close() {
+	for _, node := range n.Nodes {
+		node.Close()
+	}
+}
+
+// BuildOpenFT synthesizes and starts the simulated OpenFT universe.
+func BuildOpenFT(cfg OpenFTConfig) (*OpenFTNet, error) {
+	cfg.applyDefaults()
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed, 0x0F7A)
+	gen, err := workload.NewGenerator(stats.NewRNG(cfg.Seed, 0x3A11), workload.DefaultCorpus(), cfg.ZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	pubPool, err := ipaddr.NewMixedAllocator(ipaddr.ClassMix{Public: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	mem := p2p.NewMem()
+	net_ := &OpenFTNet{Mem: mem}
+	fail := func(err error) (*OpenFTNet, error) {
+		net_.Close()
+		return nil, err
+	}
+
+	// SEARCH tier, fully meshed; node 0 is also the INDEX node.
+	for i := 0; i < cfg.SearchNodes; i++ {
+		ip, err := pubPool.Next()
+		if err != nil {
+			return fail(err)
+		}
+		class := openft.ClassSearch
+		if i == 0 {
+			class |= openft.ClassIndex
+		}
+		spec := &HostSpec{Kind: KindSearchNode, IP: ip, Port: 1215, ListenKey: fmt.Sprintf("%s:1215", ip)}
+		node := openft.NewNode(openft.Config{
+			Class: class, Transport: mem,
+			ListenAddr: spec.ListenKey, AdvertiseIP: ip, AdvertisePort: 1215,
+			Alias:       fmt.Sprintf("search%d", i),
+			MaxChildren: cfg.HonestUsers + 64,
+			SearchTTL:   2,
+		})
+		if err := node.Start(); err != nil {
+			return fail(err)
+		}
+		net_.SearchNodes = append(net_.SearchNodes, node)
+		net_.Nodes = append(net_.Nodes, node)
+		net_.Specs = append(net_.Specs, spec)
+	}
+	for i := 0; i < len(net_.SearchNodes); i++ {
+		for j := i + 1; j < len(net_.SearchNodes); j++ {
+			if err := net_.SearchNodes[i].Connect(net_.SearchNodes[j].Addr()); err != nil {
+				return fail(fmt.Errorf("netsim: openft mesh %d->%d: %w", i, j, err))
+			}
+		}
+	}
+
+	addUser := func(spec *HostSpec, lib *p2p.Library, parent int) (*openft.Node, error) {
+		node := openft.NewNode(openft.Config{
+			Class: openft.ClassUser, Transport: mem,
+			ListenAddr: spec.ListenKey, AdvertiseIP: spec.IP, AdvertisePort: spec.Port,
+			Alias: "giFT/0.11.8", Library: lib,
+		})
+		if err := node.Start(); err != nil {
+			return nil, err
+		}
+		if err := node.BecomeChildOf(net_.SearchNodes[parent%len(net_.SearchNodes)].Addr()); err != nil {
+			node.Close()
+			return nil, err
+		}
+		net_.Nodes = append(net_.Nodes, node)
+		net_.Specs = append(net_.Specs, spec)
+		return node, nil
+	}
+
+	// Honest users.
+	corpus := gen.Corpus()
+	termPick := stats.NewZipf(rng, cfg.ZipfExponent, len(corpus))
+	for i := 0; i < cfg.HonestUsers; i++ {
+		ip, err := pubPool.Next()
+		if err != nil {
+			return fail(err)
+		}
+		lib := p2p.NewLibrary()
+		for fidx := 0; fidx < cfg.FilesPerUser; fidx++ {
+			term := corpus[termPick.Next()]
+			downloadable := rng.Bool(cfg.HonestDownloadableShare)
+			if _, err := lib.Add(honestFile(term, rng.IntN(100), downloadable, rng)); err != nil {
+				return fail(err)
+			}
+		}
+		spec := &HostSpec{Kind: KindHonestUser, IP: ip, Port: 1216, ListenKey: fmt.Sprintf("%s:1216", ip)}
+		if _, err := addUser(spec, lib, i); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Infected users. The response-volume budget per family is its
+	// catalog share of the total malicious budget; the total malicious
+	// budget is set so malicious/(malicious+honest downloadable) ≈
+	// MaliciousShare. Expected honest downloadable hits per query:
+	// users × files × Σp² × downloadableShare.
+	var sumP2 float64
+	for i := range corpus {
+		p := gen.TermProbability(i)
+		sumP2 += p * p
+	}
+	honestDownloadablePerQuery := float64(cfg.HonestUsers*cfg.FilesPerUser) * sumP2 * cfg.HonestDownloadableShare
+	maliciousBudget := honestDownloadablePerQuery * cfg.MaliciousShare / (1 - cfg.MaliciousShare)
+
+	shares := cfg.Catalog.Shares()
+	hostHints := cfg.Catalog.HostHints
+	for _, f := range cfg.Catalog.Families {
+		famMass := maliciousBudget * shares[f.Name]
+		// Choose term ranks whose combined query probability supplies the
+		// family's response budget. The top family takes top terms (it is
+		// what users most often run into); tail families take the least
+		// popular terms, where small budgets can be tracked accurately.
+		var ranks []int
+		if shares[f.Name] >= 0.5 {
+			ranks = massAssignment(gen, 0, famMass)
+		} else {
+			ranks = massAssignmentDeep(gen, famMass)
+		}
+		if len(ranks) == 0 {
+			continue
+		}
+		hosts := hostHints[f.Name]
+		if hosts <= 0 {
+			// Default: one host per infected file, so no tail family
+			// accidentally becomes a superspreader.
+			hosts = len(ranks)
+		}
+		// Distribute the infected files across the family's hosts.
+		libs := make([]*p2p.Library, hosts)
+		specs := make([]*HostSpec, hosts)
+		for h := 0; h < hosts; h++ {
+			ip, err := pubPool.Next()
+			if err != nil {
+				return fail(err)
+			}
+			libs[h] = p2p.NewLibrary()
+			specs[h] = &HostSpec{Kind: KindInfectedUser, IP: ip, Port: 1216, Family: f,
+				ListenKey: fmt.Sprintf("%s:1216", ip)}
+		}
+		for i, rank := range ranks {
+			inf, err := infectedFile(f, i, corpus[rank])
+			if err != nil {
+				return fail(err)
+			}
+			if _, err := libs[i%hosts].Add(inf); err != nil {
+				return fail(err)
+			}
+		}
+		for h := 0; h < hosts; h++ {
+			// Infected users share a little honest content too.
+			for fidx := 0; fidx < 2; fidx++ {
+				term := corpus[termPick.Next()]
+				if _, err := libs[h].Add(honestFile(term, rng.IntN(100), false, rng)); err != nil {
+					return fail(err)
+				}
+			}
+			if _, err := addUser(specs[h], libs[h], h); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	return net_, nil
+}

@@ -1,0 +1,742 @@
+package openft
+
+import (
+	"bufio"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2pmalware/internal/p2p"
+)
+
+// Config configures an OpenFT node.
+type Config struct {
+	// Class is the node's class bitmask. USER nodes share and search;
+	// SEARCH nodes index children and answer searches; INDEX nodes track
+	// the node list. A node may combine classes (SEARCH|INDEX).
+	Class Class
+	// Transport connects the node to its universe.
+	Transport p2p.Transport
+	// ListenAddr is the bind address.
+	ListenAddr string
+	// AdvertiseIP/AdvertisePort are placed in protocol messages.
+	AdvertiseIP   net.IP
+	AdvertisePort uint16
+	// Alias is the human-readable node name.
+	Alias string
+	// Library is the node's shared folder (USER nodes).
+	Library *p2p.Library
+	// MaxChildren bounds a SEARCH node's children (default 64).
+	MaxChildren int
+	// SearchTTL is the forwarding budget among SEARCH peers (default 2).
+	SearchTTL uint16
+	// OnSearchResult receives results for searches this node issued.
+	OnSearchResult func(SearchResp)
+}
+
+// Node is one OpenFT node.
+type Node struct {
+	cfg Config
+
+	listener net.Listener
+	mu       sync.Mutex
+	sessions map[*session]bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	// SEARCH state: child share index.
+	childShares map[*session]map[string]childShare // md5 -> share
+	searchSeen  map[uint32]bool                    // forwarded-search dedup (LRU-ish reset)
+	respRoutes  map[uint32]*session                // search id -> origin session
+
+	// USER state: pending searches and local share-by-md5.
+	myShares   map[string]*p2p.SharedFile // md5 -> file
+	mySearches map[uint32]bool
+	knownNodes map[string]Class // "ip:port" -> class, from NODELIST
+}
+
+// globalSearchID issues process-unique search IDs.
+var globalSearchID atomic.Uint32
+
+type childShare struct {
+	share Share
+	ip    net.IP
+	port  uint16
+}
+
+type session struct {
+	node *Node
+	conn net.Conn
+	br   *bufio.Reader
+	info NodeInfo
+	// isChild marks an accepted USER child (on a SEARCH node).
+	isChild bool
+	// Outbound packets flow through a bounded queue drained by a writer
+	// goroutine so reader goroutines never block on a peer's inbound
+	// flow (two hubs replying to each other over synchronous pipes would
+	// otherwise deadlock). A full queue drops the packet.
+	out    chan *Packet
+	done   chan struct{}
+	once   sync.Once
+	sendMu sync.Mutex // serializes direct writes before the writer starts
+	direct bool       // handshake phase: write synchronously
+}
+
+// sessionQueueCap bounds per-session outbound backlog.
+const sessionQueueCap = 512
+
+func newSession(n *Node, c net.Conn, br *bufio.Reader) *session {
+	return &session{node: n, conn: c, br: br,
+		out: make(chan *Packet, sessionQueueCap), done: make(chan struct{}), direct: true}
+}
+
+func (s *session) send(p *Packet) error {
+	s.sendMu.Lock()
+	direct := s.direct
+	if direct {
+		defer s.sendMu.Unlock()
+		return WritePacket(s.conn, p)
+	}
+	s.sendMu.Unlock()
+	select {
+	case <-s.done:
+		return errors.New("openft: session closed")
+	default:
+	}
+	select {
+	case s.out <- p:
+		return nil
+	default:
+		return errors.New("openft: send queue full, packet dropped")
+	}
+}
+
+// startWriter switches the session from synchronous handshake writes to
+// the queued writer goroutine.
+func (s *session) startWriter() {
+	s.sendMu.Lock()
+	s.direct = false
+	s.sendMu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case p := <-s.out:
+				if err := WritePacket(s.conn, p); err != nil {
+					s.shutdown()
+					return
+				}
+			}
+		}
+	}()
+}
+
+// shutdown marks the session dead and closes the connection; idempotent.
+func (s *session) shutdown() {
+	s.once.Do(func() {
+		close(s.done)
+		s.conn.Close()
+	})
+}
+
+// NewNode creates an OpenFT node; Start must be called to go live.
+func NewNode(cfg Config) *Node {
+	if cfg.MaxChildren <= 0 {
+		cfg.MaxChildren = 64
+	}
+	if cfg.SearchTTL == 0 {
+		cfg.SearchTTL = 2
+	}
+	if cfg.Library == nil {
+		cfg.Library = p2p.NewLibrary()
+	}
+	if cfg.Alias == "" {
+		cfg.Alias = "openft-node"
+	}
+	return &Node{
+		cfg:         cfg,
+		sessions:    make(map[*session]bool),
+		childShares: make(map[*session]map[string]childShare),
+		searchSeen:  make(map[uint32]bool),
+		respRoutes:  make(map[uint32]*session),
+		myShares:    make(map[string]*p2p.SharedFile),
+		mySearches:  make(map[uint32]bool),
+	}
+}
+
+// Start binds the listener and serves OpenFT sessions and HTTP transfers
+// (sniffed on the same port).
+func (n *Node) Start() error {
+	l, err := n.cfg.Transport.Listen(n.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("openft: listen %s: %w", n.cfg.ListenAddr, err)
+	}
+	n.listener = l
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return n.cfg.ListenAddr
+	}
+	return n.listener.Addr().String()
+}
+
+// Class returns the node's class.
+func (n *Node) Class() Class { return n.cfg.Class }
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.dispatch(c)
+		}()
+	}
+}
+
+func (n *Node) dispatch(c net.Conn) {
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	peek, err := br.Peek(4)
+	if err != nil {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if string(peek) == "GET " || string(peek) == "HEAD" {
+		n.serveHTTP(c, br)
+		return
+	}
+	n.acceptSession(c, br)
+}
+
+func (n *Node) acceptSession(c net.Conn, br *bufio.Reader) {
+	s := newSession(n, c, br)
+	// Acceptor side: expect VersionReq + NodeInfo, answer with
+	// VersionResp + our NodeInfo.
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	p, err := ReadPacket(br)
+	if err != nil || p.Cmd != CmdVersionReq {
+		c.Close()
+		return
+	}
+	p, err = ReadPacket(br)
+	if err != nil || p.Cmd != CmdNodeInfo {
+		c.Close()
+		return
+	}
+	info, err := ParseNodeInfo(p.Payload)
+	if err != nil {
+		c.Close()
+		return
+	}
+	s.info = info
+	c.SetReadDeadline(time.Time{})
+	if err := s.send(&Packet{Cmd: CmdVersionResp, Payload: []byte{0, 2, 1, 0}}); err != nil {
+		c.Close()
+		return
+	}
+	if err := s.send(n.nodeInfo().Encode()); err != nil {
+		c.Close()
+		return
+	}
+	if !n.addSession(s) {
+		c.Close()
+		return
+	}
+	s.startWriter()
+	n.runSession(s)
+}
+
+func (n *Node) nodeInfo() NodeInfo {
+	return NodeInfo{Class: n.cfg.Class, IP: n.cfg.AdvertiseIP, Port: n.cfg.AdvertisePort, Alias: n.cfg.Alias}
+}
+
+// Connect dials a remote node and establishes a session.
+func (n *Node) Connect(addr string) error {
+	_, err := n.connect(addr)
+	return err
+}
+
+func (n *Node) connect(addr string) (*session, error) {
+	c, err := n.cfg.Transport.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("openft: dial %s: %w", addr, err)
+	}
+	br := bufio.NewReader(c)
+	s := newSession(n, c, br)
+	if err := s.send(&Packet{Cmd: CmdVersionReq}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := s.send(n.nodeInfo().Encode()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	p, err := ReadPacket(br)
+	if err != nil || p.Cmd != CmdVersionResp {
+		c.Close()
+		return nil, errors.New("openft: bad version response")
+	}
+	p, err = ReadPacket(br)
+	if err != nil || p.Cmd != CmdNodeInfo {
+		c.Close()
+		return nil, errors.New("openft: missing node info")
+	}
+	info, err := ParseNodeInfo(p.Payload)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	s.info = info
+	c.SetReadDeadline(time.Time{})
+	if !n.addSession(s) {
+		c.Close()
+		return nil, errors.New("openft: node closed")
+	}
+	s.startWriter()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.runSession(s)
+	}()
+	return s, nil
+}
+
+// BecomeChildOf registers this USER node as a child of the SEARCH node at
+// addr and uploads the share list. It returns an error if the parent
+// refuses.
+func (n *Node) BecomeChildOf(addr string) error {
+	s, err := n.connect(addr)
+	if err != nil {
+		return err
+	}
+	if s.info.Class&ClassSearch == 0 {
+		return fmt.Errorf("openft: %s is not a SEARCH node", addr)
+	}
+	if err := s.send(&Packet{Cmd: CmdChildReq}); err != nil {
+		return err
+	}
+	// The accept/deny answer arrives on the reader loop; wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		n.mu.Lock()
+		accepted := s.isChild
+		n.mu.Unlock()
+		if accepted {
+			return n.shareAll(s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return errors.New("openft: parent did not accept child request")
+}
+
+// shareAll pushes ADDSHARE for every library file to the parent session.
+func (n *Node) shareAll(s *session) error {
+	files := make([]*p2p.SharedFile, 0, n.cfg.Library.Len())
+	for i := uint32(1); len(files) < n.cfg.Library.Len() && i < 1<<20; i++ {
+		if f := n.cfg.Library.Get(i); f != nil {
+			files = append(files, f)
+		}
+	}
+	for _, f := range files {
+		sum, err := n.fileMD5(f)
+		if err != nil {
+			return err
+		}
+		sh := Share{MD5: sum, Size: uint32(f.Size), Path: f.Name}
+		if err := s.send(sh.Encode(CmdAddShare)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileMD5 returns (caching) the hex MD5 of a shared file's content,
+// preferring a precomputed SharedFile.MD5 so lazy content need not be
+// materialized at share time.
+func (n *Node) fileMD5(f *p2p.SharedFile) (string, error) {
+	n.mu.Lock()
+	for sum, g := range n.myShares {
+		if g == f {
+			n.mu.Unlock()
+			return sum, nil
+		}
+	}
+	n.mu.Unlock()
+	sum := f.MD5
+	if sum == "" {
+		data, err := f.Data()
+		if err != nil {
+			return "", fmt.Errorf("openft: hashing %s: %w", f.Name, err)
+		}
+		d := md5.Sum(data)
+		sum = hex.EncodeToString(d[:])
+	}
+	n.mu.Lock()
+	n.myShares[sum] = f
+	n.mu.Unlock()
+	return sum, nil
+}
+
+func (n *Node) addSession(s *session) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.sessions[s] = true
+	return true
+}
+
+func (n *Node) removeSession(s *session) {
+	n.mu.Lock()
+	delete(n.sessions, s)
+	delete(n.childShares, s)
+	for id, sess := range n.respRoutes {
+		if sess == s {
+			delete(n.respRoutes, id)
+		}
+	}
+	n.mu.Unlock()
+	s.shutdown()
+}
+
+func (n *Node) runSession(s *session) {
+	defer n.removeSession(s)
+	for {
+		p, err := ReadPacket(s.br)
+		if err != nil {
+			return
+		}
+		if err := n.handle(s, p); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handle(s *session, p *Packet) error {
+	switch p.Cmd {
+	case CmdChildReq:
+		return n.handleChildReq(s)
+	case CmdChildResp:
+		cr, err := ParseChildResp(p.Payload)
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		s.isChild = cr.Accepted
+		n.mu.Unlock()
+		return nil
+	case CmdAddShare:
+		return n.handleAddShare(s, p)
+	case CmdRemShare:
+		return n.handleRemShare(s, p)
+	case CmdSearchReq:
+		return n.handleSearchReq(s, p)
+	case CmdSearchResp:
+		return n.handleSearchResp(s, p)
+	case CmdStatsReq:
+		return n.handleStatsReq(s)
+	case CmdNodeListReq:
+		return n.handleNodeListReq(s)
+	case CmdNodeList:
+		return n.handleNodeList(s, p)
+	default:
+		return nil // unknown commands are ignored
+	}
+}
+
+func (n *Node) handleChildReq(s *session) error {
+	if n.cfg.Class&ClassSearch == 0 {
+		return s.send(ChildResp{Accepted: false}.Encode())
+	}
+	n.mu.Lock()
+	children := 0
+	for sess := range n.childShares {
+		if n.sessions[sess] {
+			children++
+		}
+	}
+	accept := children < n.cfg.MaxChildren
+	if accept {
+		if n.childShares[s] == nil {
+			n.childShares[s] = make(map[string]childShare)
+		}
+		s.isChild = true
+	}
+	n.mu.Unlock()
+	return s.send(ChildResp{Accepted: accept}.Encode())
+}
+
+func (n *Node) handleAddShare(s *session, p *Packet) error {
+	sh, err := ParseShare(p.Payload)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !s.isChild || n.childShares[s] == nil {
+		return nil // shares from non-children are dropped
+	}
+	n.childShares[s][sh.MD5+"|"+sh.Path] = childShare{share: sh, ip: s.info.IP, port: s.info.Port}
+	return nil
+}
+
+func (n *Node) handleRemShare(s *session, p *Packet) error {
+	sh, err := ParseShare(p.Payload)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m := n.childShares[s]; m != nil {
+		delete(m, sh.MD5+"|"+sh.Path)
+	}
+	return nil
+}
+
+func (n *Node) handleSearchReq(s *session, p *Packet) error {
+	req, err := ParseSearchReq(p.Payload)
+	if err != nil {
+		return err
+	}
+	if n.cfg.Class&ClassSearch == 0 {
+		return nil
+	}
+	n.mu.Lock()
+	if n.searchSeen[req.ID] {
+		n.mu.Unlock()
+		return nil
+	}
+	if len(n.searchSeen) > 65536 {
+		n.searchSeen = make(map[uint32]bool)
+	}
+	n.searchSeen[req.ID] = true
+	n.respRoutes[req.ID] = s
+	// Collect matches from the child-share index.
+	var matches []childShare
+	for _, shares := range n.childShares {
+		for _, cs := range shares {
+			if shareMatches(cs.share, req.Query) {
+				matches = append(matches, cs)
+			}
+		}
+	}
+	// Forwarding targets: other SEARCH sessions.
+	var fwd []*session
+	if req.TTL > 1 {
+		for sess := range n.sessions {
+			if sess != s && sess.info.Class&ClassSearch != 0 {
+				fwd = append(fwd, sess)
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	for _, cs := range matches {
+		resp := SearchResp{ID: req.ID, IP: cs.ip, Port: cs.port, Size: cs.share.Size, MD5: cs.share.MD5, Path: cs.share.Path}
+		if err := s.send(resp.Encode()); err != nil {
+			return err
+		}
+	}
+	if err := s.send(SearchResp{ID: req.ID, End: true}.Encode()); err != nil {
+		return err
+	}
+	fwdReq := SearchReq{ID: req.ID, TTL: req.TTL - 1, Query: req.Query}
+	for _, sess := range fwd {
+		sess.send(fwdReq.Encode())
+	}
+	return nil
+}
+
+func (n *Node) handleSearchResp(s *session, p *Packet) error {
+	resp, err := ParseSearchResp(p.Payload)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	mine := n.mySearches[resp.ID]
+	origin := n.respRoutes[resp.ID]
+	n.mu.Unlock()
+	if mine {
+		if !resp.End && n.cfg.OnSearchResult != nil {
+			n.cfg.OnSearchResult(resp)
+		}
+		return nil
+	}
+	// Relay results (not remote End markers) toward the origin.
+	if origin != nil && !resp.End {
+		return origin.send(p)
+	}
+	return nil
+}
+
+// handleNodeListReq answers with the SEARCH/INDEX nodes this node knows
+// about (its current sessions), giFT's bootstrap mechanism.
+func (n *Node) handleNodeListReq(s *session) error {
+	n.mu.Lock()
+	var entries []NodeListEntry
+	for sess := range n.sessions {
+		if sess == s || sess.info.Class&(ClassSearch|ClassIndex) == 0 {
+			continue
+		}
+		if sess.info.IP == nil || sess.info.Port == 0 {
+			continue
+		}
+		entries = append(entries, NodeListEntry{IP: sess.info.IP, Port: sess.info.Port, Class: sess.info.Class})
+		if len(entries) >= 32 {
+			break
+		}
+	}
+	n.mu.Unlock()
+	return s.send(EncodeNodeList(entries))
+}
+
+// handleNodeList records advertised nodes for later connection attempts.
+func (n *Node) handleNodeList(s *session, p *Packet) error {
+	entries, err := ParseNodeList(p.Payload)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, e := range entries {
+		key := fmt.Sprintf("%s:%d", e.IP, e.Port)
+		if n.knownNodes == nil {
+			n.knownNodes = make(map[string]Class)
+		}
+		n.knownNodes[key] = e.Class
+	}
+	return nil
+}
+
+// KnownNodes returns the nodes learned from NODELIST responses, as
+// "ip:port" -> class.
+func (n *Node) KnownNodes() map[string]Class {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]Class, len(n.knownNodes))
+	for k, v := range n.knownNodes {
+		out[k] = v
+	}
+	return out
+}
+
+// RequestNodeList asks every current session for its node list; learned
+// nodes appear in KnownNodes after replies arrive.
+func (n *Node) RequestNodeList() {
+	n.mu.Lock()
+	sessions := make([]*session, 0, len(n.sessions))
+	for s := range n.sessions {
+		sessions = append(sessions, s)
+	}
+	n.mu.Unlock()
+	for _, s := range sessions {
+		s.send(&Packet{Cmd: CmdNodeListReq})
+	}
+}
+
+func (n *Node) handleStatsReq(s *session) error {
+	n.mu.Lock()
+	var shares, kb uint32
+	for _, m := range n.childShares {
+		for _, cs := range m {
+			shares++
+			kb += cs.share.Size / 1024
+		}
+	}
+	st := Stats{Children: uint32(len(n.childShares)), Shares: shares, SizeKB: kb}
+	n.mu.Unlock()
+	return s.send(st.Encode())
+}
+
+// shareMatches applies OpenFT keyword AND-matching to a share path.
+func shareMatches(sh Share, query string) bool {
+	kws := p2p.Keywords(query)
+	if len(kws) == 0 {
+		return false
+	}
+	have := make(map[string]bool)
+	for _, kw := range p2p.Keywords(sh.Path) {
+		have[kw] = true
+	}
+	for _, kw := range kws {
+		if !have[strings.ToLower(kw)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Search issues a search through every connected SEARCH parent and returns
+// the search ID; results stream to Config.OnSearchResult.
+func (n *Node) Search(query string) (uint32, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, errors.New("openft: node closed")
+	}
+	// Search IDs must be unique across the whole simulated universe so the
+	// SEARCH-tier dedup and response routing never conflate two searches;
+	// a process-wide counter guarantees that deterministically.
+	id := globalSearchID.Add(1)
+	n.mySearches[id] = true
+	var parents []*session
+	for s := range n.sessions {
+		if s.info.Class&ClassSearch != 0 {
+			parents = append(parents, s)
+		}
+	}
+	n.mu.Unlock()
+	if len(parents) == 0 {
+		return 0, errors.New("openft: no search parents")
+	}
+	req := SearchReq{ID: id, TTL: n.cfg.SearchTTL, Query: query}
+	for _, s := range parents {
+		if err := s.send(req.Encode()); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	sessions := make([]*session, 0, len(n.sessions))
+	for s := range n.sessions {
+		sessions = append(sessions, s)
+	}
+	n.mu.Unlock()
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	for _, s := range sessions {
+		s.shutdown()
+	}
+	n.wg.Wait()
+	return nil
+}

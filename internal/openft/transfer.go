@@ -1,0 +1,126 @@
+package openft
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"p2pmalware/internal/p2p"
+)
+
+// OpenFT transfers are HTTP on the node's port, addressed by content MD5:
+//
+//	GET /md5/<hex> HTTP/1.1
+//
+// (giFT used an equivalent hash-addressed request form.)
+
+// ErrNotFound is returned when the remote does not share the requested
+// hash.
+var ErrNotFound = errors.New("openft: file not found")
+
+func (n *Node) serveHTTP(c net.Conn, br *bufio.Reader) {
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 3 || (fields[0] != "GET" && fields[0] != "HEAD") {
+		fmt.Fprintf(c, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+		return
+	}
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(h) == "" {
+			break
+		}
+	}
+	sum, ok := strings.CutPrefix(fields[1], "/md5/")
+	if !ok {
+		fmt.Fprintf(c, "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+		return
+	}
+	n.mu.Lock()
+	f := n.myShares[sum]
+	n.mu.Unlock()
+	if f == nil {
+		fmt.Fprintf(c, "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+		return
+	}
+	data, err := f.Data()
+	if err != nil {
+		fmt.Fprintf(c, "HTTP/1.1 500 Internal Error\r\nContent-Length: 0\r\n\r\n")
+		return
+	}
+	fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nContent-Type: application/binary\r\nContent-Length: %d\r\n\r\n", len(data))
+	if fields[0] == "GET" {
+		c.Write(data)
+	}
+}
+
+// Download fetches the file with the given hex MD5 from addr.
+func Download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
+	c, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("openft: download dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(c, "GET /md5/%s HTTP/1.1\r\nConnection: close\r\n\r\n", md5sum); err != nil {
+		return nil, fmt.Errorf("openft: download write: %w", err)
+	}
+	br := bufio.NewReader(c)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("openft: download status: %w", err)
+	}
+	fields := strings.Fields(status)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("openft: malformed status %q", strings.TrimSpace(status))
+	}
+	code, _ := strconv.Atoi(fields[1])
+	var contentLength int64 = -1
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("openft: download headers: %w", err)
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if i := strings.IndexByte(h, ':'); i > 0 && strings.EqualFold(strings.TrimSpace(h[:i]), "Content-Length") {
+			contentLength, _ = strconv.ParseInt(strings.TrimSpace(h[i+1:]), 10, 64)
+		}
+	}
+	switch code {
+	case 200:
+	case 404:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("openft: download status %d", code)
+	}
+	if contentLength < 0 {
+		return io.ReadAll(br)
+	}
+	body := make([]byte, contentLength)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, fmt.Errorf("openft: download body: %w", err)
+	}
+	return body, nil
+}
+
+// ShareMD5 exposes the cached MD5 of a library file (hashing it if
+// needed); the measurement client uses it to cross-check downloads.
+func (n *Node) ShareMD5(f *p2p.SharedFile) (string, error) {
+	return n.fileMD5(f)
+}

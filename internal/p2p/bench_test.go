@@ -1,0 +1,80 @@
+package p2p
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+func BenchmarkKeywords(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Keywords("Britney Spears - Toxic (Greatest Hits Edition).mp3")
+	}
+}
+
+func BenchmarkLibraryMatch(b *testing.B) {
+	l := NewLibrary()
+	for i := 0; i < 1000; i++ {
+		l.Add(StaticFile(fmt.Sprintf("artist%d song%d album.mp3", i%50, i), []byte{byte(i)}))
+	}
+	l.Add(StaticFile("britney spears toxic.mp3", []byte("target")))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(l.Match("britney toxic", 10)) != 1 {
+			b.Fatal("match broken")
+		}
+	}
+}
+
+func BenchmarkURNSHA1(b *testing.B) {
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = URNSHA1(data)
+	}
+}
+
+func BenchmarkMemTransportRoundTrip(b *testing.B) {
+	m := NewMem()
+	l, err := m.Listen("bench:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					c.Write(buf[:n])
+				}
+			}()
+		}
+	}()
+	c, err := m.Dial("bench:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("ping-pong payload bytes")
+	buf := make([]byte, len(msg))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package p2p
+
+import (
+	"crypto/sha1"
+	"encoding/base32"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SharedFile is one file in a servent's shared folder.
+type SharedFile struct {
+	// Index is the servent-local file index (Gnutella query hits carry
+	// it; downloads reference it).
+	Index uint32
+	// Name is the advertised filename.
+	Name string
+	// Size is the byte size.
+	Size int64
+	// SHA1 is the content hash, as a urn:sha1 base32 string (HUGE spec).
+	SHA1 string
+	// MD5 is the hex MD5 content hash used by OpenFT share lists. It may
+	// be precomputed so lazy files can be advertised without
+	// materializing their content.
+	MD5 string
+	// Data returns the file bytes. Content is generated lazily because a
+	// simulated host may share files it never actually serves.
+	Data func() ([]byte, error)
+}
+
+// URNSHA1 computes the HUGE-style urn:sha1 identifier of data: base32
+// (no padding) of the SHA1 digest.
+func URNSHA1(data []byte) string {
+	d := sha1.Sum(data)
+	return "urn:sha1:" + base32.StdEncoding.WithPadding(base32.NoPadding).EncodeToString(d[:])
+}
+
+// Keywords tokenizes a filename or query string into lower-case keywords:
+// runs of letters and digits, minimum two runes, deduplicated in order of
+// first appearance. Both protocol stacks and the workload generator share
+// this definition, mirroring how servents normalized QRP keywords.
+func Keywords(s string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() >= 2 {
+			words = append(words, cur.String())
+		}
+		cur.Reset()
+	}
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	seen := make(map[string]bool, len(words))
+	out := words[:0]
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Library is a keyword-indexed shared folder. It is safe for concurrent
+// use: population churn adds and removes files while query handling reads.
+type Library struct {
+	mu        sync.RWMutex
+	files     map[uint32]*SharedFile
+	byKeyword map[string]map[uint32]bool
+	nextIndex uint32
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{
+		files:     make(map[uint32]*SharedFile),
+		byKeyword: make(map[string]map[uint32]bool),
+	}
+}
+
+// Add indexes a file and assigns it a servent-local index, which it
+// returns. The file's Index field is set. Data must be non-nil.
+func (l *Library) Add(f *SharedFile) (uint32, error) {
+	if f == nil || f.Data == nil {
+		return 0, fmt.Errorf("p2p: library add with nil file or data")
+	}
+	if f.Name == "" {
+		return 0, fmt.Errorf("p2p: library add with empty name")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextIndex++
+	f.Index = l.nextIndex
+	l.files[f.Index] = f
+	for _, kw := range Keywords(f.Name) {
+		set, ok := l.byKeyword[kw]
+		if !ok {
+			set = make(map[uint32]bool)
+			l.byKeyword[kw] = set
+		}
+		set[f.Index] = true
+	}
+	return f.Index, nil
+}
+
+// Remove drops the file with the given index.
+func (l *Library) Remove(index uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, ok := l.files[index]
+	if !ok {
+		return
+	}
+	delete(l.files, index)
+	for _, kw := range Keywords(f.Name) {
+		if set, ok := l.byKeyword[kw]; ok {
+			delete(set, index)
+			if len(set) == 0 {
+				delete(l.byKeyword, kw)
+			}
+		}
+	}
+}
+
+// Get returns the file with the given index, or nil.
+func (l *Library) Get(index uint32) *SharedFile {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.files[index]
+}
+
+// FindBySHA1 returns the first file whose SHA1 URN equals urn, or nil.
+// Files with empty SHA1 (lazy content not yet materialized) never match.
+func (l *Library) FindBySHA1(urn string) *SharedFile {
+	if urn == "" {
+		return nil
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var best *SharedFile
+	for _, f := range l.files {
+		if f.SHA1 == urn && (best == nil || f.Index < best.Index) {
+			best = f
+		}
+	}
+	return best
+}
+
+// Len returns the number of shared files.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.files)
+}
+
+// Match returns the files matching a query: every query keyword must
+// appear among the file's name keywords (the AND semantics Gnutella
+// servents implemented). Results are sorted by index for determinism and
+// capped at limit (limit <= 0 means no cap).
+func (l *Library) Match(query string, limit int) []*SharedFile {
+	kws := Keywords(query)
+	if len(kws) == 0 {
+		return nil
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	// Start from the rarest keyword's posting set.
+	var base map[uint32]bool
+	for _, kw := range kws {
+		set := l.byKeyword[kw]
+		if len(set) == 0 {
+			return nil
+		}
+		if base == nil || len(set) < len(base) {
+			base = set
+		}
+	}
+	var out []*SharedFile
+	for idx := range base {
+		f := l.files[idx]
+		if f == nil {
+			continue
+		}
+		fileKws := make(map[string]bool)
+		for _, kw := range Keywords(f.Name) {
+			fileKws[kw] = true
+		}
+		all := true
+		for _, kw := range kws {
+			if !fileKws[kw] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// AllKeywords returns the sorted set of indexed keywords; Gnutella QRP
+// tables are built from it.
+func (l *Library) AllKeywords() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.byKeyword))
+	for kw := range l.byKeyword {
+		out = append(out, kw)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StaticFile builds a SharedFile whose Data returns the given bytes, with
+// Size and SHA1 precomputed.
+func StaticFile(name string, data []byte) *SharedFile {
+	return &SharedFile{
+		Name: name,
+		Size: int64(len(data)),
+		SHA1: URNSHA1(data),
+		Data: func() ([]byte, error) { return data, nil },
+	}
+}
+
+// LazyFile builds a SharedFile of a known size whose bytes are produced on
+// demand. The SHA1 field is computed on first Data call and may be empty
+// until then; simulated populations use this to avoid materializing
+// terabytes of synthetic content.
+func LazyFile(name string, size int64, gen func() ([]byte, error)) *SharedFile {
+	return &SharedFile{Name: name, Size: size, Data: gen}
+}

@@ -1,0 +1,170 @@
+package p2p
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func exerciseTransport(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		c.Write(append([]byte("echo:"), buf...))
+	}()
+
+	dialAddr := addr
+	if tcp, ok := l.Addr().(*net.TCPAddr); ok {
+		dialAddr = tcp.String()
+	}
+	c, err := tr.Dial(dialAddr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if string(buf) != "echo:hello" {
+		t.Fatalf("got %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestTCPTransport(t *testing.T) {
+	exerciseTransport(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestMemTransport(t *testing.T) {
+	exerciseTransport(t, NewMem(), "10.0.0.1:6346")
+}
+
+func TestMemDialUnknownRefused(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("1.2.3.4:80"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("a:1"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+}
+
+func TestMemCloseUnblocksAccept(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("a:1")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != ErrListenerClosed {
+			t.Fatalf("Accept err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock on Close")
+	}
+}
+
+func TestMemCloseFreesAddress(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("a:1")
+	l.Close()
+	if _, err := m.Listen("a:1"); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+}
+
+func TestMemDialAfterCloseRefused(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("a:1")
+	l.Close()
+	if _, err := m.Dial("a:1"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+}
+
+func TestMemIsolatedUniverses(t *testing.T) {
+	m1, m2 := NewMem(), NewMem()
+	if _, err := m1.Listen("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Dial("a:1"); err == nil {
+		t.Fatal("cross-universe dial succeeded")
+	}
+}
+
+func TestMemConcurrentDials(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("hub:1")
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := m.Dial("hub:1")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			c.Write([]byte{1})
+			c.Close()
+		}()
+	}
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < n {
+		acceptDone := make(chan struct{})
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				io.ReadAll(c)
+				c.Close()
+			}
+			close(acceptDone)
+		}()
+		select {
+		case <-acceptDone:
+			got++
+		case <-deadline:
+			t.Fatalf("accepted %d of %d", got, n)
+		}
+	}
+	wg.Wait()
+}

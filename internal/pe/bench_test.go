@@ -1,0 +1,27 @@
+package pe
+
+import "testing"
+
+func BenchmarkBuildSized(b *testing.B) {
+	payload := []byte("X-MW-MARKER[bench]")
+	b.SetBytes(184342)
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSized(MachineI386, 0, payload, 184342); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	img, err := BuildSized(MachineI386, 0, []byte("payload"), 184342)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package pe synthesizes and parses minimal but structurally valid Portable
+// Executable (PE) files.
+//
+// The measurement study downloads query responses whose filenames look like
+// executables and scans them. To make the synthetic corpus realistic, every
+// "executable" the simulator serves is a real PE image: MZ header, PE
+// signature, COFF file header, optional header, and section table, with a
+// payload carried in a .data-style section. The scanner parses files with
+// this package both to validate that a response really is an executable and
+// to locate the payload where malware byte-signatures live.
+package pe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Machine types used in the COFF header.
+const (
+	MachineI386  = 0x014c
+	MachineAMD64 = 0x8664
+)
+
+// Characteristics flags.
+const (
+	charExecutableImage = 0x0002
+	char32BitMachine    = 0x0100
+)
+
+const (
+	mzMagic        = 0x5A4D // "MZ"
+	peSignatureOff = 0x3C   // e_lfanew: offset of the offset of "PE\0\0"
+	optMagic32     = 0x10b
+	sectionHdrSize = 40
+	fileAlign      = 0x200
+	sectAlign      = 0x1000
+	imageBase      = 0x400000
+)
+
+// Section is a named chunk of file content.
+type Section struct {
+	// Name is the section name, at most 8 bytes (longer names are
+	// truncated, per the PE format).
+	Name string
+	// Data is the raw section content.
+	Data []byte
+}
+
+// File is a parsed (or to-be-built) PE image.
+type File struct {
+	// Machine is the COFF machine type.
+	Machine uint16
+	// TimeDateStamp is the COFF link timestamp (seconds since Unix epoch).
+	TimeDateStamp uint32
+	// Sections are the image's sections in file order.
+	Sections []Section
+}
+
+// Errors returned by Parse.
+var (
+	ErrNotPE    = errors.New("pe: not a PE image")
+	ErrTruncate = errors.New("pe: truncated image")
+)
+
+// Build serializes f into a structurally valid PE image. Section data is
+// padded to the PE file alignment, so the output is deterministic given f.
+func Build(f *File) []byte {
+	var buf bytes.Buffer
+
+	// DOS header: "MZ", then zeros, with e_lfanew at 0x3C pointing just
+	// past the 64-byte DOS header.
+	dos := make([]byte, 64)
+	binary.LittleEndian.PutUint16(dos[0:], mzMagic)
+	binary.LittleEndian.PutUint32(dos[peSignatureOff:], 64)
+	buf.Write(dos)
+
+	// PE signature.
+	buf.WriteString("PE\x00\x00")
+
+	// COFF file header.
+	coff := make([]byte, 20)
+	machine := f.Machine
+	if machine == 0 {
+		machine = MachineI386
+	}
+	binary.LittleEndian.PutUint16(coff[0:], machine)
+	binary.LittleEndian.PutUint16(coff[2:], uint16(len(f.Sections)))
+	binary.LittleEndian.PutUint32(coff[4:], f.TimeDateStamp)
+	optSize := 96 // PE32 optional header without data directories
+	binary.LittleEndian.PutUint16(coff[16:], uint16(optSize))
+	binary.LittleEndian.PutUint16(coff[18:], charExecutableImage|char32BitMachine)
+	buf.Write(coff)
+
+	// Optional header (PE32, no data directories).
+	opt := make([]byte, optSize)
+	binary.LittleEndian.PutUint16(opt[0:], optMagic32)
+	opt[2] = 8                                               // linker major
+	binary.LittleEndian.PutUint32(opt[16:], sectAlign)       // entry point RVA
+	binary.LittleEndian.PutUint32(opt[28:], imageBase)       // image base
+	binary.LittleEndian.PutUint32(opt[32:], sectAlign)       // section alignment
+	binary.LittleEndian.PutUint32(opt[36:], fileAlign)       // file alignment
+	binary.LittleEndian.PutUint16(opt[40:], 4)               // OS major
+	binary.LittleEndian.PutUint16(opt[48:], 4)               // subsystem major
+	sizeOfImage := uint32(sectAlign * (1 + len(f.Sections))) // headers + sections
+	binary.LittleEndian.PutUint32(opt[56:], sizeOfImage)
+	binary.LittleEndian.PutUint32(opt[60:], fileAlign) // size of headers
+	binary.LittleEndian.PutUint16(opt[68:], 2)         // subsystem: GUI
+	binary.LittleEndian.PutUint32(opt[92:], 0)         // no data directories
+	buf.Write(opt)
+
+	// Section table.
+	dataOff := alignUp(buf.Len()+sectionHdrSize*len(f.Sections), fileAlign)
+	rva := uint32(sectAlign)
+	for _, s := range f.Sections {
+		hdr := make([]byte, sectionHdrSize)
+		name := s.Name
+		if len(name) > 8 {
+			name = name[:8]
+		}
+		copy(hdr[0:8], name)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(s.Data)))                      // virtual size
+		binary.LittleEndian.PutUint32(hdr[12:], rva)                                     // virtual address
+		binary.LittleEndian.PutUint32(hdr[16:], uint32(alignUp(len(s.Data), fileAlign))) // raw size
+		binary.LittleEndian.PutUint32(hdr[20:], uint32(dataOff))                         // raw offset
+		binary.LittleEndian.PutUint32(hdr[36:], 0xE0000020)                              // code|r|w|x
+		buf.Write(hdr)
+		dataOff += alignUp(len(s.Data), fileAlign)
+		rva += uint32(alignUp(len(s.Data), sectAlign))
+	}
+
+	// Pad headers to file alignment, then write section raw data, padded.
+	pad(&buf, alignUp(buf.Len(), fileAlign)-buf.Len())
+	for _, s := range f.Sections {
+		buf.Write(s.Data)
+		pad(&buf, alignUp(len(s.Data), fileAlign)-len(s.Data))
+	}
+	return buf.Bytes()
+}
+
+// BuildSized builds a PE image with a single ".data" section carrying the
+// payload, padded with trailing zeros so the whole file is exactly size
+// bytes. Trailing data past the declared sections is legal in the PE format
+// (real-world packers rely on it) and is how the synthetic corpus pins each
+// specimen to its family's characteristic file size. It returns an error if
+// size is too small to hold the headers plus payload.
+func BuildSized(machine uint16, stamp uint32, payload []byte, size int) ([]byte, error) {
+	base := Build(&File{Machine: machine, TimeDateStamp: stamp, Sections: []Section{{Name: ".data", Data: payload}}})
+	if len(base) > size {
+		return nil, fmt.Errorf("pe: size %d too small (minimum %d for %d-byte payload)", size, len(base), len(payload))
+	}
+	img := make([]byte, size)
+	copy(img, base)
+	return img, nil
+}
+
+// MinSize returns the smallest image BuildSized can produce for a payload of
+// n bytes.
+func MinSize(n int) int {
+	return len(Build(&File{Sections: []Section{{Name: ".data", Data: make([]byte, n)}}}))
+}
+
+// Parse validates b as a PE image and returns its structure. Section data
+// slices alias b.
+func Parse(b []byte) (*File, error) {
+	if len(b) < 64 || binary.LittleEndian.Uint16(b[0:]) != mzMagic {
+		return nil, ErrNotPE
+	}
+	peOff := int(binary.LittleEndian.Uint32(b[peSignatureOff:]))
+	if peOff < 0 || peOff+24 > len(b) {
+		return nil, ErrTruncate
+	}
+	if string(b[peOff:peOff+4]) != "PE\x00\x00" {
+		return nil, ErrNotPE
+	}
+	coff := b[peOff+4:]
+	machine := binary.LittleEndian.Uint16(coff[0:])
+	nsect := int(binary.LittleEndian.Uint16(coff[2:]))
+	stamp := binary.LittleEndian.Uint32(coff[4:])
+	optSize := int(binary.LittleEndian.Uint16(coff[16:]))
+	sectOff := peOff + 24 + optSize
+	if sectOff+nsect*sectionHdrSize > len(b) {
+		return nil, ErrTruncate
+	}
+	f := &File{Machine: machine, TimeDateStamp: stamp}
+	for i := 0; i < nsect; i++ {
+		hdr := b[sectOff+i*sectionHdrSize:]
+		name := string(bytes.TrimRight(hdr[0:8], "\x00"))
+		vsize := int(binary.LittleEndian.Uint32(hdr[8:]))
+		rawSize := int(binary.LittleEndian.Uint32(hdr[16:]))
+		rawOff := int(binary.LittleEndian.Uint32(hdr[20:]))
+		if rawOff < 0 || rawSize < 0 || rawOff+rawSize > len(b) {
+			return nil, ErrTruncate
+		}
+		n := vsize
+		if n > rawSize {
+			n = rawSize
+		}
+		f.Sections = append(f.Sections, Section{Name: name, Data: b[rawOff : rawOff+n]})
+	}
+	return f, nil
+}
+
+// IsPE reports whether b begins a plausible PE image, cheaply (MZ magic and
+// in-range PE signature).
+func IsPE(b []byte) bool {
+	_, err := Parse(b)
+	return err == nil
+}
+
+// Payload returns the data of the named section, or nil if absent.
+func (f *File) Payload(name string) []byte {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s.Data
+		}
+	}
+	return nil
+}
+
+func alignUp(n, a int) int { return (n + a - 1) / a * a }
+
+func pad(buf *bytes.Buffer, n int) {
+	if n > 0 {
+		buf.Write(make([]byte, n))
+	}
+}

@@ -1,0 +1,141 @@
+package pe
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	payload := []byte("MALWARE-SIGNATURE-XYZZY")
+	img := Build(&File{
+		Machine:       MachineI386,
+		TimeDateStamp: 0x44444444,
+		Sections:      []Section{{Name: ".text", Data: []byte{0x90, 0xC3}}, {Name: ".data", Data: payload}},
+	})
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.Machine != MachineI386 {
+		t.Errorf("Machine = %#x", f.Machine)
+	}
+	if f.TimeDateStamp != 0x44444444 {
+		t.Errorf("stamp = %#x", f.TimeDateStamp)
+	}
+	if len(f.Sections) != 2 {
+		t.Fatalf("sections = %d", len(f.Sections))
+	}
+	if f.Sections[0].Name != ".text" || f.Sections[1].Name != ".data" {
+		t.Errorf("section names: %q %q", f.Sections[0].Name, f.Sections[1].Name)
+	}
+	if !bytes.Equal(f.Payload(".data"), payload) {
+		t.Errorf("payload mismatch: %q", f.Payload(".data"))
+	}
+	if f.Payload(".missing") != nil {
+		t.Error("missing section returned data")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	f := &File{Sections: []Section{{Name: ".data", Data: []byte("abc")}}}
+	if !bytes.Equal(Build(f), Build(f)) {
+		t.Fatal("Build not deterministic")
+	}
+}
+
+func TestIsPE(t *testing.T) {
+	img := Build(&File{Sections: []Section{{Name: ".data", Data: []byte("x")}}})
+	if !IsPE(img) {
+		t.Fatal("valid image rejected")
+	}
+	for _, b := range [][]byte{nil, []byte("hello"), []byte("MZ"), bytes.Repeat([]byte{0}, 100)} {
+		if IsPE(b) {
+			t.Errorf("IsPE accepted %d junk bytes", len(b))
+		}
+	}
+}
+
+func TestParseRejectsCorruptedSignature(t *testing.T) {
+	img := Build(&File{Sections: []Section{{Name: ".data", Data: []byte("x")}}})
+	img[64] = 'X' // clobber "PE\0\0"
+	if _, err := Parse(img); err != ErrNotPE {
+		t.Fatalf("err = %v, want ErrNotPE", err)
+	}
+}
+
+func TestParseRejectsTruncated(t *testing.T) {
+	img := Build(&File{Sections: []Section{{Name: ".data", Data: bytes.Repeat([]byte("y"), 100)}}})
+	if _, err := Parse(img[:len(img)-50]); err != ErrTruncate {
+		t.Fatalf("err = %v, want ErrTruncate", err)
+	}
+}
+
+func TestLongSectionNameTruncated(t *testing.T) {
+	img := Build(&File{Sections: []Section{{Name: ".verylongname", Data: []byte("x")}}})
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sections[0].Name != ".verylon" {
+		t.Fatalf("name = %q", f.Sections[0].Name)
+	}
+}
+
+func TestBuildSizedExact(t *testing.T) {
+	payload := []byte("SIG:FAMILY-A")
+	for _, size := range []int{2048, 4096, 10000, 65536, 123457} {
+		img, err := BuildSized(MachineI386, 1, payload, size)
+		if err != nil {
+			t.Fatalf("BuildSized(%d): %v", size, err)
+		}
+		if len(img) != size {
+			t.Fatalf("BuildSized(%d) produced %d bytes", size, len(img))
+		}
+		f, err := Parse(img)
+		if err != nil {
+			t.Fatalf("Parse of sized image: %v", err)
+		}
+		data := f.Payload(".data")
+		if !bytes.HasPrefix(data, payload) {
+			t.Fatalf("payload lost in %d-byte image", size)
+		}
+	}
+}
+
+func TestBuildSizedTooSmall(t *testing.T) {
+	if _, err := BuildSized(MachineI386, 0, []byte("p"), 10); err == nil {
+		t.Fatal("accepted impossible size")
+	}
+}
+
+func TestMinSize(t *testing.T) {
+	n := MinSize(16)
+	img, err := BuildSized(MachineI386, 0, make([]byte, 16), n)
+	if err != nil {
+		t.Fatalf("BuildSized at MinSize: %v", err)
+	}
+	if len(img) != n {
+		t.Fatalf("len = %d, want %d", len(img), n)
+	}
+}
+
+func TestQuickBuildSizedHitsTarget(t *testing.T) {
+	f := func(extra uint16, payloadLen uint8) bool {
+		payload := bytes.Repeat([]byte{0xAB}, int(payloadLen))
+		size := MinSize(len(payload)) + int(extra)
+		img, err := BuildSized(MachineAMD64, 7, payload, size)
+		if err != nil {
+			return false
+		}
+		if len(img) != size {
+			return false
+		}
+		pf, err := Parse(img)
+		return err == nil && bytes.HasPrefix(pf.Payload(".data"), payload)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

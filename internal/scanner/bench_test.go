@@ -1,0 +1,65 @@
+package scanner
+
+import (
+	"testing"
+
+	"p2pmalware/internal/archive"
+	"p2pmalware/internal/malware"
+	"p2pmalware/internal/stats"
+)
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e, err := FromCatalogs(malware.LimeWireCatalog(), malware.OpenFTCatalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkScanCleanMB(b *testing.B) {
+	e := benchEngine(b)
+	data := make([]byte, 1<<20)
+	stats.NewRNG(1, 1).Fill(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, bad := e.Infected(data); bad {
+			b.Fatal("clean data detected")
+		}
+	}
+}
+
+func BenchmarkScanSpecimen(b *testing.B) {
+	e := benchEngine(b)
+	spec, err := malware.LimeWireCatalog().Families[0].Specimen(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(spec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, bad := e.Infected(spec); !bad {
+			b.Fatal("specimen missed")
+		}
+	}
+}
+
+func BenchmarkScanArchive(b *testing.B) {
+	e := benchEngine(b)
+	spec, _ := malware.LimeWireCatalog().Families[0].Specimen(0)
+	z, err := archive.BuildCompressed([]archive.Member{
+		{Name: "readme.txt", Data: []byte("hello")},
+		{Name: "payload.exe", Data: spec},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(z)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, bad := e.Infected(z); !bad {
+			b.Fatal("archived specimen missed")
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package scanner implements the signature-based malware scanner that
+// stands in for the commercial antivirus engine the study used to label
+// downloaded files.
+//
+// The engine supports two signature kinds — byte patterns and MD5 content
+// hashes — and scans recursively into ZIP archives (bounded depth, bounded
+// decompressed size) the way real AV engines do. Ground truth for the
+// synthetic corpus comes from building the database out of the malware
+// catalog's family signatures.
+package scanner
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"p2pmalware/internal/archive"
+	"p2pmalware/internal/malware"
+)
+
+// SigKind distinguishes signature types.
+type SigKind int
+
+const (
+	// Pattern matches when the signature bytes appear anywhere in the
+	// scanned stream.
+	Pattern SigKind = iota
+	// Hash matches when the MD5 of the whole scanned stream equals the
+	// signature digest.
+	Hash
+)
+
+// Signature is one database entry.
+type Signature struct {
+	// Family is the detection name reported on a match.
+	Family string
+	// Kind selects pattern or hash matching.
+	Kind SigKind
+	// Data is the pattern bytes (Kind == Pattern) or the 16-byte MD5
+	// digest (Kind == Hash).
+	Data []byte
+}
+
+// Detection is one scanner finding.
+type Detection struct {
+	// Family is the malware family name.
+	Family string
+	// Path locates the finding: "" for the top-level stream, otherwise
+	// the archive member path(s), "/"-joined for nested archives.
+	Path string
+}
+
+// Engine is a compiled signature database. Engines are immutable after
+// construction and safe for concurrent use.
+type Engine struct {
+	patterns []Signature
+	hashes   map[[md5.Size]byte]string // digest -> family
+	maxDepth int
+}
+
+// MaxArchiveDepth is how deep the engine recurses into nested archives.
+const MaxArchiveDepth = 3
+
+// New compiles a database from the given signatures.
+func New(sigs []Signature) (*Engine, error) {
+	e := &Engine{hashes: make(map[[md5.Size]byte]string), maxDepth: MaxArchiveDepth}
+	for _, s := range sigs {
+		if s.Family == "" {
+			return nil, fmt.Errorf("scanner: signature with empty family")
+		}
+		switch s.Kind {
+		case Pattern:
+			if len(s.Data) < 4 {
+				return nil, fmt.Errorf("scanner: pattern for %s too short (%d bytes)", s.Family, len(s.Data))
+			}
+			e.patterns = append(e.patterns, Signature{Family: s.Family, Kind: Pattern, Data: append([]byte(nil), s.Data...)})
+		case Hash:
+			if len(s.Data) != md5.Size {
+				return nil, fmt.Errorf("scanner: hash for %s is %d bytes, want %d", s.Family, len(s.Data), md5.Size)
+			}
+			var d [md5.Size]byte
+			copy(d[:], s.Data)
+			e.hashes[d] = s.Family
+		default:
+			return nil, fmt.Errorf("scanner: unknown signature kind %d for %s", s.Kind, s.Family)
+		}
+	}
+	return e, nil
+}
+
+// FromCatalogs builds the ground-truth engine for the synthetic corpus:
+// one pattern signature per family (its embedded marker) plus one hash
+// signature per variant specimen.
+func FromCatalogs(catalogs ...*malware.Catalog) (*Engine, error) {
+	var sigs []Signature
+	for _, c := range catalogs {
+		for _, f := range c.Families {
+			sigs = append(sigs, Signature{Family: f.Name, Kind: Pattern, Data: f.Signature()})
+			for v := 0; v < f.NumVariants(); v++ {
+				b, err := f.Specimen(v)
+				if err != nil {
+					return nil, fmt.Errorf("scanner: building %s variant %d: %w", f.Name, v, err)
+				}
+				d := md5.Sum(b)
+				sigs = append(sigs, Signature{Family: f.Name, Kind: Hash, Data: d[:]})
+			}
+		}
+	}
+	return New(sigs)
+}
+
+// NumSignatures returns the number of compiled signatures.
+func (e *Engine) NumSignatures() int { return len(e.patterns) + len(e.hashes) }
+
+// Scan inspects data (recursing into ZIP archives) and returns all
+// detections, deduplicated by (family, path) and sorted for determinism.
+// A scan error on a nested archive is not fatal: corrupt archives simply
+// yield no nested detections, like a real engine skipping a broken file.
+func (e *Engine) Scan(data []byte) []Detection {
+	found := make(map[Detection]bool)
+	e.scan(data, "", 0, found)
+	out := make([]Detection, 0, len(found))
+	for d := range found {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Infected reports whether data contains any known malware, and the family
+// of the first (alphabetically) detection if so.
+func (e *Engine) Infected(data []byte) (string, bool) {
+	ds := e.Scan(data)
+	if len(ds) == 0 {
+		return "", false
+	}
+	return ds[0].Family, true
+}
+
+func (e *Engine) scan(data []byte, path string, depth int, found map[Detection]bool) {
+	if d := md5.Sum(data); true {
+		if fam, ok := e.hashes[d]; ok {
+			found[Detection{Family: fam, Path: path}] = true
+		}
+	}
+	for _, s := range e.patterns {
+		if bytes.Contains(data, s.Data) {
+			found[Detection{Family: s.Family, Path: path}] = true
+		}
+	}
+	if depth >= e.maxDepth || !archive.IsZip(data) {
+		return
+	}
+	members, err := archive.Extract(data)
+	if err != nil {
+		return
+	}
+	for _, m := range members {
+		sub := m.Name
+		if path != "" {
+			sub = path + "/" + m.Name
+		}
+		e.scan(m.Data, sub, depth+1, found)
+	}
+}
+
+// HexHash returns the hex MD5 of data, the content identity used in trace
+// records.
+func HexHash(data []byte) string {
+	d := md5.Sum(data)
+	return hex.EncodeToString(d[:])
+}

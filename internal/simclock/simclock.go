@@ -1,0 +1,185 @@
+// Package simclock provides a virtual clock and discrete-event scheduler so
+// that a month-long measurement trace can be simulated in seconds while
+// still producing realistic timestamps.
+//
+// The study's temporal analyses (malicious responses per day, trace
+// duration) depend on trace time, not wall time; all simulation components
+// read time through a Clock so the whole system can run against either the
+// real clock or a virtual one.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the time source abstraction used across the simulator.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Virtual is a discrete-event virtual clock. Events scheduled on the clock
+// run in timestamp order when the clock is advanced; time only moves when
+// Advance or Run is called. Virtual is safe for concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	queue  eventQueue
+	seq    uint64
+	inStep bool
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func(now time.Time)
+	idx int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewVirtual returns a virtual clock starting at the given epoch.
+func NewVirtual(epoch time.Time) *Virtual {
+	return &Virtual{now: epoch}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Schedule runs fn when the clock reaches now+d. Events scheduled with
+// non-positive delay run at the current instant on the next Advance/Run.
+func (v *Virtual) Schedule(d time.Duration, fn func(now time.Time)) {
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	heap.Push(&v.queue, &event{at: v.now.Add(d), seq: v.seq, fn: fn})
+}
+
+// ScheduleAt runs fn when the clock reaches t. If t is in the past, fn runs
+// at the current instant on the next Advance/Run.
+func (v *Virtual) ScheduleAt(t time.Time, fn func(now time.Time)) {
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	at := t
+	if at.Before(v.now) {
+		at = v.now
+	}
+	v.seq++
+	heap.Push(&v.queue, &event{at: at, seq: v.seq, fn: fn})
+}
+
+// Pending returns the number of events not yet fired.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.queue)
+}
+
+// Advance moves the clock forward by d, firing every event whose time falls
+// within the window, in timestamp order. Events may schedule further events;
+// those within the window also fire. It returns the number of events fired.
+func (v *Virtual) Advance(d time.Duration) int {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	v.mu.Lock()
+	if v.inStep {
+		v.mu.Unlock()
+		panic("simclock: Advance called from within an event callback")
+	}
+	deadline := v.now.Add(d)
+	fired := 0
+	for len(v.queue) > 0 && !v.queue[0].at.After(deadline) {
+		e := heap.Pop(&v.queue).(*event)
+		if e.at.After(v.now) {
+			v.now = e.at
+		}
+		v.inStep = true
+		v.mu.Unlock()
+		e.fn(e.at)
+		v.mu.Lock()
+		v.inStep = false
+		fired++
+	}
+	v.now = deadline
+	v.mu.Unlock()
+	return fired
+}
+
+// Run fires events until the queue is empty or maxEvents have fired
+// (maxEvents <= 0 means unbounded). It returns the number of events fired.
+// The clock advances to each event's timestamp as it fires.
+func (v *Virtual) Run(maxEvents int) int {
+	fired := 0
+	for {
+		v.mu.Lock()
+		if v.inStep {
+			v.mu.Unlock()
+			panic("simclock: Run called from within an event callback")
+		}
+		if len(v.queue) == 0 || (maxEvents > 0 && fired >= maxEvents) {
+			v.mu.Unlock()
+			return fired
+		}
+		e := heap.Pop(&v.queue).(*event)
+		if e.at.After(v.now) {
+			v.now = e.at
+		}
+		v.inStep = true
+		v.mu.Unlock()
+		e.fn(e.at)
+		v.mu.Lock()
+		v.inStep = false
+		v.mu.Unlock()
+		fired++
+	}
+}
+
+// DefaultEpoch is the trace start used across the reproduction: the rough
+// period during which the paper's data was collected.
+var DefaultEpoch = time.Date(2006, time.March, 1, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,157 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatal("Real.Now outside [before, after]")
+	}
+}
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	if !v.Now().Equal(DefaultEpoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), DefaultEpoch)
+	}
+}
+
+func TestAdvanceFiresInOrder(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	var order []int
+	v.Schedule(3*time.Second, func(time.Time) { order = append(order, 3) })
+	v.Schedule(1*time.Second, func(time.Time) { order = append(order, 1) })
+	v.Schedule(2*time.Second, func(time.Time) { order = append(order, 2) })
+	if fired := v.Advance(5 * time.Second); fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := v.Now().Sub(DefaultEpoch); got != 5*time.Second {
+		t.Fatalf("clock at +%v, want +5s", got)
+	}
+}
+
+func TestAdvanceStopsAtDeadline(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	fired := false
+	v.Schedule(10*time.Second, func(time.Time) { fired = true })
+	v.Advance(5 * time.Second)
+	if fired {
+		t.Fatal("event beyond deadline fired")
+	}
+	if v.Pending() != 1 {
+		t.Fatalf("Pending = %d", v.Pending())
+	}
+	v.Advance(5 * time.Second)
+	if !fired {
+		t.Fatal("event at deadline did not fire")
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		v.Schedule(time.Second, func(time.Time) { order = append(order, i) })
+	}
+	v.Advance(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("FIFO violated: order = %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	count := 0
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		count++
+		if count < 5 {
+			v.Schedule(time.Minute, tick)
+		}
+	}
+	v.Schedule(time.Minute, tick)
+	v.Advance(time.Hour)
+	if count != 5 {
+		t.Fatalf("chained events fired %d times, want 5", count)
+	}
+}
+
+func TestScheduleAtPastClamps(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	v.Advance(time.Hour)
+	fired := time.Time{}
+	v.ScheduleAt(DefaultEpoch, func(now time.Time) { fired = now })
+	v.Advance(0)
+	if !fired.Equal(DefaultEpoch.Add(time.Hour)) {
+		t.Fatalf("past event fired at %v", fired)
+	}
+}
+
+func TestRunDrainsQueue(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	n := 0
+	for i := 1; i <= 20; i++ {
+		v.Schedule(time.Duration(i)*time.Second, func(time.Time) { n++ })
+	}
+	if fired := v.Run(0); fired != 20 {
+		t.Fatalf("Run fired %d", fired)
+	}
+	if n != 20 || v.Pending() != 0 {
+		t.Fatalf("n=%d pending=%d", n, v.Pending())
+	}
+	if got := v.Now().Sub(DefaultEpoch); got != 20*time.Second {
+		t.Fatalf("clock at +%v", got)
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	for i := 0; i < 10; i++ {
+		v.Schedule(time.Second, func(time.Time) {})
+	}
+	if fired := v.Run(3); fired != 3 {
+		t.Fatalf("Run(3) fired %d", fired)
+	}
+	if v.Pending() != 7 {
+		t.Fatalf("Pending = %d", v.Pending())
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewVirtual(DefaultEpoch).Advance(-time.Second)
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewVirtual(DefaultEpoch).Schedule(time.Second, nil)
+}
+
+func TestCallbackReceivesEventTime(t *testing.T) {
+	v := NewVirtual(DefaultEpoch)
+	var got time.Time
+	v.Schedule(90*time.Second, func(now time.Time) { got = now })
+	v.Advance(10 * time.Minute)
+	if want := DefaultEpoch.Add(90 * time.Second); !got.Equal(want) {
+		t.Fatalf("callback time = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(NewRNG(1, 1), 1.0, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}
+
+func BenchmarkCounterTopK(b *testing.B) {
+	c := NewCounter()
+	rng := NewRNG(2, 2)
+	for i := 0; i < 1000; i++ {
+		c.Add(fmt.Sprintf("key-%d", i), int64(rng.IntN(10000)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.TopK(10)
+	}
+}
+
+func BenchmarkCDFPercentile(b *testing.B) {
+	c := NewCDF()
+	rng := NewRNG(3, 3)
+	for i := 0; i < 100000; i++ {
+		c.Add(rng.Float64() * 1e6)
+	}
+	c.Percentile(50) // force the initial sort
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Percentile(99)
+	}
+}
+
+func BenchmarkRNGFill(b *testing.B) {
+	g := NewRNG(4, 4)
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		g.Fill(buf)
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random stream for simulations. All simulation
+// randomness must flow through explicitly seeded RNGs so that every
+// experiment is exactly reproducible.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded from the two words. Distinct
+// simulation components should use distinct second words so their streams
+// are independent.
+func NewRNG(seed1, seed2 uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform value in [0,n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Int64N returns a uniform value in [0,n). It panics if n <= 0.
+func (g *RNG) Int64N(n int64) int64 { return g.r.Int64N(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Fill fills p with pseudo-random bytes (for deterministic GUIDs and file
+// content) and reports (len(p), nil) so it can serve as an io.Reader-style
+// read function.
+func (g *RNG) Fill(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		v := g.r.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(p), nil
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It is the workhorse behind query popularity and malware
+// prevalence skew.
+type Zipf struct {
+	cum []float64
+	rng *RNG
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s > 0.
+// It panics if n <= 0 or s <= 0, which are programming errors.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("stats: NewZipf needs n > 0 and s > 0")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// Next draws a rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PMF returns the probability of rank i under the sampler's distribution.
+func (z *Zipf) PMF(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// WeightedChoice selects index i with probability weights[i]/sum(weights).
+// It panics if weights is empty or sums to zero or less.
+type WeightedChoice struct {
+	cum []float64
+	rng *RNG
+}
+
+// NewWeightedChoice builds a sampler over the given non-negative weights.
+func NewWeightedChoice(rng *RNG, weights []float64) *WeightedChoice {
+	if len(weights) == 0 {
+		panic("stats: empty weights")
+	}
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("stats: weights sum to zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &WeightedChoice{cum: cum, rng: rng}
+}
+
+// Next draws an index.
+func (w *WeightedChoice) Next() int {
+	u := w.rng.Float64()
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

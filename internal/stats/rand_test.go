@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(1, 2)
+	b := NewRNG(1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(1, 3)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(1, 2).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatal("different-seed RNGs look identical")
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	g := NewRNG(7, 7)
+	n, trues := 10000, 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			trues++
+		}
+	}
+	got := float64(trues) / float64(n)
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("Bool(0.25) rate = %v", got)
+	}
+	if g.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+}
+
+func TestRNGFillDeterministic(t *testing.T) {
+	a, b := NewRNG(5, 5), NewRNG(5, 5)
+	pa, pb := make([]byte, 37), make([]byte, 37)
+	if n, err := a.Fill(pa); n != 37 || err != nil {
+		t.Fatalf("Fill = %d, %v", n, err)
+	}
+	b.Fill(pb)
+	if string(pa) != string(pb) {
+		t.Fatal("Fill not deterministic")
+	}
+	var zeros int
+	for _, v := range pa {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros > 10 {
+		t.Fatal("Fill output suspiciously zero-heavy")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(11, 13)
+	z := NewZipf(g, 1.0, 100)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Fatalf("Zipf not monotone-skewed: c0=%d c10=%d c50=%d", counts[0], counts[10], counts[50])
+	}
+	// Rank 0 should hold roughly 1/H(100) ~ 19% of mass for s=1.
+	share := float64(counts[0]) / n
+	if share < 0.15 || share > 0.25 {
+		t.Fatalf("rank-0 share = %v, want ~0.19", share)
+	}
+}
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	z := NewZipf(NewRNG(1, 1), 1.2, 50)
+	var sum float64
+	for i := 0; i < 50; i++ {
+		sum += z.PMF(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sum = %v", sum)
+	}
+	if z.PMF(-1) != 0 || z.PMF(50) != 0 {
+		t.Fatal("out-of-range PMF not zero")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewZipf(NewRNG(1, 1), 1, 0)
+}
+
+func TestWeightedChoice(t *testing.T) {
+	g := NewRNG(3, 9)
+	w := NewWeightedChoice(g, []float64{0.1, 0.0, 0.9})
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[w.Next()]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	got := float64(counts[2]) / n
+	if math.Abs(got-0.9) > 0.02 {
+		t.Fatalf("index 2 share = %v, want 0.9", got)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty": {},
+		"zero":  {0, 0},
+		"neg":   {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewWeightedChoice(NewRNG(1, 1), weights)
+		}()
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	g := NewRNG(2, 2)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatal("shuffle lost elements")
+	}
+}

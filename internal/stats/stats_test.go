@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a")
+	c.Inc("a")
+	c.Add("b", 3)
+	if c.Get("a") != 2 || c.Get("b") != 3 || c.Get("missing") != 0 {
+		t.Fatalf("counts wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", c.Total())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCounterNegativeClamps(t *testing.T) {
+	c := NewCounter()
+	c.Add("a", 2)
+	c.Add("a", -5)
+	if c.Get("a") != 0 {
+		t.Fatalf("count went negative: %d", c.Get("a"))
+	}
+	if c.Total() != 0 {
+		t.Fatalf("total = %d, want 0", c.Total())
+	}
+}
+
+func TestTopKOrderingAndShares(t *testing.T) {
+	c := NewCounter()
+	c.Add("x", 50)
+	c.Add("y", 30)
+	c.Add("z", 20)
+	top := c.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) len = %d", len(top))
+	}
+	if top[0].Key != "x" || top[1].Key != "y" {
+		t.Fatalf("TopK order wrong: %+v", top)
+	}
+	if math.Abs(top[0].Share-0.5) > 1e-9 {
+		t.Fatalf("share wrong: %v", top[0].Share)
+	}
+	if got := c.TopShare(2); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("TopShare(2) = %v, want 0.8", got)
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 5)
+	c.Add("a", 5)
+	c.Add("c", 5)
+	top := c.TopK(0)
+	if top[0].Key != "a" || top[1].Key != "b" || top[2].Key != "c" {
+		t.Fatalf("tie break not by key: %+v", top)
+	}
+}
+
+func TestTopKAllWhenKTooBig(t *testing.T) {
+	c := NewCounter()
+	c.Inc("only")
+	if got := len(c.TopK(10)); got != 1 {
+		t.Fatalf("TopK(10) len = %d", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-1)
+	h.Observe(11)
+	if h.Count() != 12 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Fatalf("outliers = %d,%d", under, over)
+	}
+	for i := 0; i < h.NumBuckets(); i++ {
+		lo, n := h.Bucket(i)
+		if n != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, n)
+		}
+		if math.Abs(lo-float64(i)) > 1e-9 {
+			t.Errorf("bucket %d lo = %v", i, lo)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 100, 4)
+	h.Observe(10)
+	h.Observe(30)
+	if got := h.Mean(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	empty := NewHistogram(0, 1, 1)
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean != 0")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad bounds")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF()
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.At(50); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("At(50) = %v", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Fatalf("At(100) = %v", got)
+	}
+	if got := c.Percentile(50); got != 50 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF()
+	if c.At(5) != 0 || c.Percentile(50) != 0 || c.Points(10) != nil {
+		t.Fatal("empty CDF not zero-valued")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF()
+	for i := 1; i <= 10; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	if pts[4][1] != 1.0 {
+		t.Fatalf("last point fraction = %v, want 1", pts[4][1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] {
+			t.Fatal("points not sorted by value")
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(vals []float64, probe float64) bool {
+		c := NewCDF()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			c.Add(v)
+		}
+		if math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		return c.At(probe) <= c.At(probe+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v", got)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate cases not zero")
+	}
+}
