@@ -1,0 +1,18 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same gates.
+
+.PHONY: build test race lint ci
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+lint:
+	go vet ./...
+	go run ./cmd/p2plint ./...
+
+ci: build lint race

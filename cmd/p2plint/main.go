@@ -1,0 +1,77 @@
+// Command p2plint runs the repository's custom static-analysis suite
+// (clockcheck, lockcheck, wirecheck, errwrap — see internal/lint) over the
+// given packages and exits non-zero on any finding. It is part of the CI
+// merge gate:
+//
+//	go run ./cmd/p2plint ./...
+//
+// With no arguments it analyzes every package in the module containing the
+// working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"p2pmalware/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: p2plint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the project lint suite; packages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "p2plint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the first go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", fmt.Errorf("getwd: %w", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

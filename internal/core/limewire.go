@@ -15,11 +15,13 @@ import (
 	"p2pmalware/internal/simclock"
 )
 
-// lwCollector accumulates the hits for the in-flight query.
+// lwCollector accumulates the hits for the in-flight query. Its clock is
+// wall time — drain waits on hits produced by real network goroutines.
 type lwCollector struct {
+	clock   simclock.Clock // always simclock.Real; a field so tests could stub it
 	mu      sync.Mutex
-	hits    []lwHit
-	lastHit time.Time
+	hits    []lwHit   // guarded by mu
+	lastHit time.Time // guarded by mu
 }
 
 type lwHit struct {
@@ -31,25 +33,26 @@ func (c *lwCollector) add(qh *gnutella.QueryHit, hit gnutella.Hit) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hits = append(c.hits, lwHit{qh: *qh, hit: hit})
-	c.lastHit = time.Now()
+	c.lastHit = c.clock.Now()
 }
 
 // drain waits for the response stream to quiesce and returns the hits.
 func (c *lwCollector) drain(quiesce, maxWait time.Duration) []lwHit {
-	deadline := time.Now().Add(maxWait)
-	for time.Now().Before(deadline) {
+	start := c.clock.Now()
+	deadline := start.Add(maxWait)
+	for c.clock.Now().Before(deadline) {
 		c.mu.Lock()
 		last := c.lastHit
 		n := len(c.hits)
 		c.mu.Unlock()
-		if n > 0 && time.Since(last) >= quiesce {
+		if n > 0 && simclock.Since(c.clock, last) >= quiesce {
 			break
 		}
-		if n == 0 && time.Since(deadline.Add(-maxWait)) >= 4*quiesce {
+		if n == 0 && simclock.Since(c.clock, start) >= 4*quiesce {
 			// No responder at all for this query.
 			break
 		}
-		time.Sleep(quiesce / 5)
+		simclock.Sleep(c.clock, quiesce/5)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,7 +70,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	}
 	defer net_.Close()
 
-	collector := &lwCollector{}
+	collector := &lwCollector{clock: simclock.Real{}}
 	var colMu sync.Mutex
 	active := collector
 
@@ -135,7 +138,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 			}
 			term := gen.Next()
 			colMu.Lock()
-			active = &lwCollector{}
+			active = &lwCollector{clock: simclock.Real{}}
 			col := active
 			colMu.Unlock()
 			if _, err := client.Query(term.Text, ""); err != nil {
@@ -221,8 +224,8 @@ func (s *Study) labelDownload(rec *dataset.ResponseRecord, body []byte, err erro
 // specimen is fetched once per host, like the study's downloader.
 type downloadCache struct {
 	mu     sync.Mutex
-	bodies map[string][]byte
-	errs   map[string]error
+	bodies map[string][]byte // guarded by mu
+	errs   map[string]error  // guarded by mu
 }
 
 func newDownloadCache() *downloadCache {

@@ -15,11 +15,14 @@ import (
 )
 
 // ftCollector accumulates search results for the in-flight OpenFT search.
+// Its clock is wall time — drain waits on results produced by real network
+// goroutines.
 type ftCollector struct {
+	clock   simclock.Clock // always simclock.Real; a field so tests could stub it
 	mu      sync.Mutex
 	id      uint32
-	results []openft.SearchResp
-	lastHit time.Time
+	results []openft.SearchResp // guarded by mu
+	lastHit time.Time           // guarded by mu
 }
 
 func (c *ftCollector) add(r openft.SearchResp) {
@@ -29,24 +32,24 @@ func (c *ftCollector) add(r openft.SearchResp) {
 		return // stale result from a previous search
 	}
 	c.results = append(c.results, r)
-	c.lastHit = time.Now()
+	c.lastHit = c.clock.Now()
 }
 
 func (c *ftCollector) drain(quiesce, maxWait time.Duration) []openft.SearchResp {
-	deadline := time.Now().Add(maxWait)
-	start := time.Now()
-	for time.Now().Before(deadline) {
+	start := c.clock.Now()
+	deadline := start.Add(maxWait)
+	for c.clock.Now().Before(deadline) {
 		c.mu.Lock()
 		last := c.lastHit
 		n := len(c.results)
 		c.mu.Unlock()
-		if n > 0 && time.Since(last) >= quiesce {
+		if n > 0 && simclock.Since(c.clock, last) >= quiesce {
 			break
 		}
-		if n == 0 && time.Since(start) >= 4*quiesce {
+		if n == 0 && simclock.Since(c.clock, start) >= 4*quiesce {
 			break
 		}
-		time.Sleep(quiesce / 5)
+		simclock.Sleep(c.clock, quiesce/5)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -65,7 +68,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	defer net_.Close()
 
 	var colMu sync.Mutex
-	active := &ftCollector{}
+	active := &ftCollector{clock: simclock.Real{}}
 
 	clientIP := net.IPv4(156, 56, 1, 11)
 	client := openft.NewNode(openft.Config{
@@ -108,7 +111,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 			}
 			term := gen.Next()
 			colMu.Lock()
-			active = &ftCollector{}
+			active = &ftCollector{clock: simclock.Real{}}
 			col := active
 			colMu.Unlock()
 			id, err := client.Search(term.Text)

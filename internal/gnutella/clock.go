@@ -1,0 +1,25 @@
+package gnutella
+
+import (
+	"time"
+
+	"p2pmalware/internal/simclock"
+)
+
+// Time discipline (enforced by cmd/p2plint's clockcheck): this package
+// never calls time.Now or time.Sleep directly. Two clocks exist:
+//
+//   - Trace time — Config.Clock, default the real clock — stamps protocol
+//     observations (host-cache entries). A study driving nodes from a
+//     simclock.Virtual gets trace-time stamps consistent with its
+//     simulated calendar.
+//   - Wall time — ioClock, always real — bounds socket I/O: deadlines,
+//     handshake timeouts, and waits on other goroutines' progress. These
+//     bound real scheduler and network activity, so driving them from a
+//     virtual clock would produce deadlines in the simulated past and
+//     kill every read.
+var ioClock simclock.Clock = simclock.Real{}
+
+// ioDeadline returns the wall-clock instant d from now, for
+// net.Conn.Set*Deadline calls.
+func ioDeadline(d time.Duration) time.Time { return ioClock.Now().Add(d) }

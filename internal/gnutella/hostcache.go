@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"p2pmalware/internal/simclock"
 )
 
 // HostCache holds servent endpoints learned from pongs, the way servents
@@ -14,7 +16,7 @@ import (
 type HostCache struct {
 	mu    sync.Mutex
 	max   int
-	hosts map[string]hostEntry
+	hosts map[string]hostEntry // guarded by mu
 }
 
 type hostEntry struct {
@@ -128,7 +130,8 @@ func (n *Node) Bootstrap(seed string, extra int, wait time.Duration) (int, error
 		return 0, err
 	}
 	n.PingTTL(2)
-	time.Sleep(wait)
+	// Waits on pongs arriving over real connections, so wall time.
+	simclock.Sleep(ioClock, wait)
 	made := 0
 	for _, addr := range n.hostCache.Addrs(0) {
 		if made >= extra {

@@ -10,6 +10,7 @@ import (
 
 	"p2pmalware/internal/guid"
 	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/simclock"
 )
 
 // Role is a servent's position in the two-tier Gnutella topology.
@@ -69,6 +70,10 @@ type Config struct {
 	// ultrapeers forward it every query — the trick query-echo malware
 	// used to see (and answer) all search traffic.
 	PromiscuousQRP bool
+	// Clock is the trace-time source for protocol observations (host-cache
+	// timestamps). Nil means the real clock. Socket deadlines always use
+	// wall time regardless — see clock.go.
+	Clock simclock.Clock
 	// HitLimit caps results per query hit descriptor (default 64).
 	HitLimit int
 	// Logf, when set, receives debug logging.
@@ -79,18 +84,19 @@ type Config struct {
 type Node struct {
 	cfg       Config
 	serventID guid.GUID
+	clock     simclock.Clock // trace-time source; set once in NewNode
 	listener  net.Listener
 
 	mu         sync.Mutex
-	peers      map[*peerConn]bool
-	myQueries  map[guid.GUID]bool
-	closed     bool
+	peers      map[*peerConn]bool // guarded by mu
+	myQueries  map[guid.GUID]bool // guarded by mu
+	closed     bool               // guarded by mu
 	wg         sync.WaitGroup
 	routes     *routeTable // descriptor GUID -> arrival conn
 	pushRoutes *routeTable // servent GUID -> conn that delivered its hits
 
 	pushMu      sync.Mutex
-	pushWaiters map[string]chan net.Conn // "index:guid" -> GIV delivery
+	pushWaiters map[string]chan net.Conn // "index:guid" -> GIV delivery; guarded by pushMu
 
 	hostCache *HostCache // endpoints learned from pongs
 }
@@ -109,7 +115,7 @@ type peerConn struct {
 	out    chan *Message
 	done   chan struct{}
 	once   sync.Once
-	qrp    *QRPTable // QRP table received from a leaf
+	qrp    *QRPTable // QRP table received from a leaf; guarded by qrpMu
 	qrpMu  sync.Mutex
 }
 
@@ -188,6 +194,7 @@ func NewNode(cfg Config) *Node {
 	return &Node{
 		cfg:         cfg,
 		serventID:   guid.New(),
+		clock:       simclock.OrReal(cfg.Clock),
 		peers:       make(map[*peerConn]bool),
 		myQueries:   make(map[guid.GUID]bool),
 		routes:      newRouteTable(0),
@@ -257,7 +264,7 @@ func (s *sniffConn) Read(p []byte) (int, error) { return s.br.Read(p) }
 
 func (n *Node) dispatch(c net.Conn) {
 	br := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	peek, err := br.Peek(4)
 	if err != nil {
 		c.Close()
@@ -495,7 +502,7 @@ func (n *Node) handlePong(pc *peerConn, m *Message) error {
 	if err != nil {
 		return err
 	}
-	n.hostCache.Add(pong.IP, pong.Port, pong.Files, time.Now())
+	n.hostCache.Add(pong.IP, pong.Port, pong.Files, n.clock.Now())
 	return nil
 }
 
@@ -708,8 +715,9 @@ func (n *Node) Close() error {
 	for _, pc := range peers {
 		pc.send(bye)
 	}
-	// Give the writers a moment to flush the byes, then tear down.
-	time.Sleep(5 * time.Millisecond)
+	// Give the writers a moment to flush the byes, then tear down. This
+	// waits on real goroutine progress, so it is wall time by design.
+	simclock.Sleep(ioClock, 5*time.Millisecond)
 	for _, pc := range peers {
 		pc.shutdown()
 	}

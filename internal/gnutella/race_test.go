@@ -1,0 +1,116 @@
+package gnutella
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"p2pmalware/internal/p2p"
+)
+
+// TestNodeChurnRace hammers one ultrapeer with concurrent leaf churn —
+// connect, query, disconnect — from many goroutines at once. It exists for
+// the -race build: the assertions are weak on purpose, the interleavings
+// are the test.
+func TestNodeChurnRace(t *testing.T) {
+	t.Parallel()
+	mem := p2p.NewMem()
+	up := NewNode(Config{
+		Role:          Ultrapeer,
+		Transport:     mem,
+		ListenAddr:    "128.211.0.1:6346",
+		AdvertiseIP:   net.IPv4(128, 211, 0, 1),
+		AdvertisePort: 6346,
+		MaxLeaves:     256,
+	})
+	if err := up.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+
+	const workers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				lib := p2p.NewLibrary()
+				name := fmt.Sprintf("specimen-%d-%d.exe", w, r)
+				if _, err := lib.Add(p2p.StaticFile(name, []byte("x"))); err != nil {
+					t.Error(err)
+					return
+				}
+				ip := net.IPv4(128, 211, byte(w+1), byte(r+1))
+				leaf := NewNode(Config{
+					Role:          Leaf,
+					Transport:     mem,
+					ListenAddr:    fmt.Sprintf("%s:6346", ip),
+					AdvertiseIP:   ip,
+					AdvertisePort: 6346,
+					Library:       lib,
+				})
+				if err := leaf.Start(); err != nil {
+					t.Error(err)
+					return
+				}
+				// Connect may lose the race against another worker filling
+				// the last leaf slot; only the churn matters here.
+				if err := leaf.Connect(up.Addr()); err == nil {
+					leaf.Query(name, "")
+					leaf.PingTTL(2)
+				}
+				leaf.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNodeCloseRace closes a node while peers are still connecting to it,
+// exercising the accept-loop/Close shutdown path under -race.
+func TestNodeCloseRace(t *testing.T) {
+	t.Parallel()
+	mem := p2p.NewMem()
+	for i := 0; i < 4; i++ {
+		i := i
+		up := NewNode(Config{
+			Role:          Ultrapeer,
+			Transport:     mem,
+			ListenAddr:    fmt.Sprintf("128.212.0.%d:6346", i+1),
+			AdvertiseIP:   net.IPv4(128, 212, 0, byte(i+1)),
+			AdvertisePort: 6346,
+			MaxLeaves:     64,
+		})
+		if err := up.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			j := j
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ip := net.IPv4(128, 212, byte(i+1), byte(j+1))
+				leaf := NewNode(Config{
+					Role:          Leaf,
+					Transport:     mem,
+					ListenAddr:    fmt.Sprintf("%s:6346", ip),
+					AdvertiseIP:   ip,
+					AdvertisePort: 6346,
+				})
+				if err := leaf.Start(); err != nil {
+					t.Error(err)
+					return
+				}
+				leaf.Connect(up.Addr()) // racing the Close below; errors expected
+				leaf.Close()
+			}()
+		}
+		up.Close()
+		wg.Wait()
+	}
+}

@@ -13,9 +13,9 @@ import (
 type routeTable struct {
 	mu    sync.Mutex
 	max   int
-	order *list.List // of guid.GUID, front = oldest
-	elems map[guid.GUID]*list.Element
-	dests map[guid.GUID]*peerConn
+	order *list.List                  // of guid.GUID, front = oldest; guarded by mu
+	elems map[guid.GUID]*list.Element // guarded by mu
+	dests map[guid.GUID]*peerConn     // guarded by mu
 }
 
 // defaultRouteCapacity bounds reverse-path state per node; real servents

@@ -13,6 +13,7 @@ import (
 
 	"p2pmalware/internal/guid"
 	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/simclock"
 )
 
 // Gnutella file transfer is plain HTTP on the servent's port:
@@ -34,7 +35,7 @@ var (
 
 func (n *Node) serveHTTP(c net.Conn) {
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SetDeadline(ioDeadline(30 * time.Second))
 	br := bufio.NewReader(c)
 	n.serveOneHTTP(c, br)
 }
@@ -186,7 +187,7 @@ func Download(tr p2p.Transport, addr string, index uint32, name string) ([]byte,
 		return nil, fmt.Errorf("gnutella: download dial %s: %w", addr, err)
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SetDeadline(ioDeadline(30 * time.Second))
 	return httpGet(c, bufio.NewReader(c), index, name)
 }
 
@@ -248,7 +249,7 @@ func DownloadRange(tr p2p.Transport, addr string, index uint32, name string, off
 		return nil, fmt.Errorf("gnutella: download dial %s: %w", addr, err)
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SetDeadline(ioDeadline(30 * time.Second))
 	rangeSpec := fmt.Sprintf("bytes=%d-", offset)
 	if length >= 0 {
 		rangeSpec = fmt.Sprintf("bytes=%d-%d", offset, offset+length-1)
@@ -334,9 +335,9 @@ func (n *Node) DownloadViaPush(serventID guid.GUID, index uint32, name string, t
 	select {
 	case c := <-ch:
 		defer c.Close()
-		c.SetDeadline(time.Now().Add(30 * time.Second))
+		c.SetDeadline(ioDeadline(30 * time.Second))
 		return httpGet(c, bufio.NewReader(c), index, name)
-	case <-time.After(timeout):
+	case <-simclock.After(ioClock, timeout):
 		return nil, ErrPushWait
 	}
 }
@@ -344,7 +345,7 @@ func (n *Node) DownloadViaPush(serventID guid.GUID, index uint32, name string, t
 // handleGIV accepts a firewalled servent's callback connection and hands
 // it to the waiting downloader.
 func (n *Node) handleGIV(c net.Conn) {
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	br := bufio.NewReader(c)
 	line, err := br.ReadString('\n')
 	if err != nil {
@@ -401,7 +402,7 @@ func (n *Node) performPush(p Push) {
 		return
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SetDeadline(ioDeadline(30 * time.Second))
 	if _, err := fmt.Fprintf(c, "GIV %d:%s/%s\n\n", p.Index, n.serventID, f.Name); err != nil {
 		return
 	}

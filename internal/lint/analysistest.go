@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small analysistest equivalent: fixture packages live
+// under testdata/src/<importpath>/ and carry `// want "regexp"`
+// expectations on the lines where an analyzer must report. RunFixture
+// loads the fixture, runs one analyzer, and returns mismatches in both
+// directions (missing and unexpected diagnostics).
+//
+// The go tool never builds testdata directories, so fixtures may contain
+// deliberate violations without breaking `go build ./...`.
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Fixture runs one analyzer over testdata/src/<pkgPath> (relative to dir,
+// typically the analyzer package's own directory) and compares diagnostics
+// against `// want` comments. It returns a list of human-readable
+// mismatches; an empty list means the fixture passed.
+func Fixture(dir string, a *Analyzer, pkgPath string) ([]string, error) {
+	fixDir := filepath.Join(dir, "testdata", "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %s: %w", pkgPath, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(fixDir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixture %s: %w", pkgPath, err)
+		}
+		files = append(files, f)
+		exp, err := wantComments(fset, f)
+		if err != nil {
+			return nil, err
+		}
+		expects = append(expects, exp...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s has no Go files", pkgPath)
+	}
+	pkg := &Package{Path: pkgPath, Fset: fset, Files: files}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	matched := make([]bool, len(expects))
+	for _, d := range diags {
+		found := false
+		for i, exp := range expects {
+			if matched[i] || exp.file != d.Pos.Filename || exp.line != d.Pos.Line {
+				continue
+			}
+			if exp.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for i, exp := range expects {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none",
+				exp.file, exp.line, exp.re))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// wantRe pulls the quoted patterns out of a want comment. Patterns are Go
+// string literals, double- or backtick-quoted: // want "..." or // want `...`.
+var wantRe = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var wantStrRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// wantComments extracts the expectations declared in f.
+func wantComments(fset *token.FileSet, f *ast.File) ([]expectation, error) {
+	var out []expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range wantStrRe.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("lint: %s: bad want pattern %s: %w", pos, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("lint: %s: bad want regexp %q: %w", pos, pat, err)
+				}
+				out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}

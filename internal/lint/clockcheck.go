@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// clockRestricted matches the packages whose behaviour must be driven by
+// the simulated clock: the protocol node layers, the network builder, the
+// study driver and the workload generator. A raw wall-clock read in any of
+// them makes a 30-day trace non-reproducible.
+var clockRestricted = regexp.MustCompile(`internal/(gnutella|openft|netsim|core|workload)(/|$)`)
+
+// bannedTimeFuncs are the time-package entry points that read or wait on
+// the wall clock. Pure types and constants (time.Duration, time.Second,
+// time.Time{}) remain fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// ClockCheck forbids raw wall-clock reads in simulation packages.
+var ClockCheck = &Analyzer{
+	Name: "clockcheck",
+	Doc: "forbids time.Now/Sleep/After (and friends) in simulation packages; " +
+		"they must read time through internal/simclock so month-long studies stay deterministic",
+	Run: runClockCheck,
+}
+
+func runClockCheck(pass *Pass) error {
+	if !clockRestricted.MatchString(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		timeName := importName(file, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != timeName || !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s in a simulation package: read time through internal/simclock (Clock.Now, simclock.Sleep, simclock.After) so simulated crawls stay deterministic",
+				timeName, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

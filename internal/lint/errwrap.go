@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrWrap requires errors forwarded through fmt.Errorf to be wrapped with
+// %w. Formatting an error with %v (or %s) flattens it to text, so callers
+// can no longer match sentinel errors with errors.Is across package
+// boundaries — exactly how "is this ErrNotFound or a real transport
+// failure?" decisions in the measurement client go wrong.
+//
+// The check is syntactic: a fmt.Errorf call whose arguments include an
+// error-looking identifier ("err", or an *Err / *err suffix) must carry
+// %w in its format string.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "requires fmt.Errorf calls that forward an error value to wrap it " +
+		"with %w so sentinel matching survives package boundaries",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, file := range pass.Files {
+		fmtName := importName(file, "fmt")
+		if fmtName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != fmtName {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			format, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || format.Kind != token.STRING || strings.Contains(format.Value, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				name, ok := errIdent(arg)
+				if !ok {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"%s is formatted without %%w: wrap forwarded errors so errors.Is/As keep working across package boundaries",
+					name)
+				break
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errIdent reports whether arg is an identifier that, by naming
+// convention, holds an error value.
+func errIdent(arg ast.Expr) (string, bool) {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	name := id.Name
+	switch {
+	case name == "err":
+		return name, true
+	case strings.HasSuffix(name, "Err"):
+		return name, true
+	case strings.HasSuffix(name, "err") && name != "stderr":
+		return name, true
+	}
+	return "", false
+}

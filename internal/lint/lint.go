@@ -1,0 +1,166 @@
+// Package lint is a self-contained static-analysis framework plus the
+// project's custom analyzers. It mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Reportf) on the standard library alone so the
+// toolchain needs no external modules, and it exists because the study's
+// headline statistics are only as trustworthy as the crawler: a month-long
+// simulated crawl that reads the wall clock, races on a shared host cache,
+// or crashes mid-trace on a hostile peer's truncated packet silently
+// corrupts prevalence numbers.
+//
+// Analyzers:
+//
+//   - clockcheck: simulation packages must read time through
+//     internal/simclock, never the raw time package.
+//   - lockcheck: struct fields annotated "// guarded by <mutex>" may only
+//     be touched by functions that lock that mutex on the same receiver.
+//   - wirecheck: wire-format decoders must length-check a payload before
+//     indexing or slicing it.
+//   - errwrap: errors forwarded through fmt.Errorf must use %w so callers
+//     can unwrap across package boundaries.
+//
+// The cmd/p2plint binary runs the whole suite over the repository and is
+// part of the CI merge gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one static check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test expectations.
+	Name string
+	// Doc is the one-paragraph description shown by the driver.
+	Doc string
+	// Run inspects a package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Package is one parsed (not type-checked) Go package ready for analysis.
+type Package struct {
+	// Path is the package's import path (module path + directory).
+	Path string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+}
+
+// Pass carries one analyzer's view of one package, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Path is the package import path under analysis.
+	Path string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the package's parsed source files.
+	Files []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the check that produced it.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap}
+}
+
+// importName returns the local name under which file imports path, or ""
+// if the file does not import it (or imports it blank or dotted).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if imp.Path.Value != `"`+path+`"` {
+			continue
+		}
+		if imp.Name == nil {
+			// Default name: last path element.
+			name := path
+			for i := len(path) - 1; i >= 0; i-- {
+				if path[i] == '/' {
+					name = path[i+1:]
+					break
+				}
+			}
+			return name
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
+}
+
+// selectorPath renders a chain of identifier selections ("s", "s.node",
+// "s.node.mu") as a dotted string, or "" if e is not a pure identifier
+// chain (calls, indexes and parens disqualify it).
+func selectorPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := selectorPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// runFixture asserts that an analyzer's diagnostics over a fixture package
+// exactly match its `// want` annotations.
+func runFixture(t *testing.T, a *Analyzer, pkgPath string) {
+	t.Helper()
+	problems, err := Fixture(".", a, pkgPath)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", pkgPath, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestClockCheckFixture(t *testing.T) {
+	runFixture(t, ClockCheck, "p2pmalware/internal/netsim/clockfix")
+}
+
+func TestClockCheckIgnoresUnrestrictedPackages(t *testing.T) {
+	runFixture(t, ClockCheck, "example.com/clockfree")
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	runFixture(t, LockCheck, "example.com/lockfix")
+}
+
+func TestWireCheckFixture(t *testing.T) {
+	runFixture(t, WireCheck, "p2pmalware/internal/pe/wirefix")
+}
+
+func TestWireCheckIgnoresUnrestrictedPackages(t *testing.T) {
+	runFixture(t, WireCheck, "example.com/wirefree")
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	runFixture(t, ErrWrap, "example.com/errwrapfix")
+}
+
+// TestFixtureRunnerDetectsMisses guards the harness itself: an analyzer
+// that reports nothing must fail a fixture that expects a diagnostic.
+func TestFixtureRunnerDetectsMisses(t *testing.T) {
+	silent := &Analyzer{Name: "silent", Doc: "reports nothing", Run: func(*Pass) error { return nil }}
+	problems, err := Fixture(".", silent, "p2pmalware/internal/pe/wirefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("silent analyzer passed a fixture with want annotations; the runner is broken")
+	}
+}
+
+// TestRepositoryIsClean runs the full suite over the whole repository —
+// the same gate cmd/p2plint enforces in CI. Any finding here is a build
+// breaker by design.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestLoadSinglePackagePattern(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./internal/lint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Path != "p2pmalware/internal/lint" {
+		t.Fatalf("got package path %q", pkgs[0].Path)
+	}
+	if len(pkgs[0].Files) == 0 {
+		t.Fatal("package has no files")
+	}
+}

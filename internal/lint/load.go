@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses the packages selected by patterns, rooted at the module
+// directory containing a go.mod. Patterns follow the go tool's shape:
+// "./..." walks every package under root, "./internal/gnutella" selects a
+// single directory. Test files (_test.go) are excluded: they may
+// legitimately use wall-clock waits and unchecked fixtures, and the
+// toolchain excludes testdata directories the same way the go tool does.
+func Load(root string, patterns []string) ([]*Package, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := parseDir(root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// modulePath reads the module declaration from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// expandPatterns resolves pattern arguments to package directories,
+// relative to root, sorted and deduplicated.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory into a Package,
+// or returns nil if the directory holds no Go files.
+func parseDir(root, module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("lint: no such package directory: %s", dir)
+		}
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: relativizing %s: %w", dir, err)
+	}
+	path := module
+	if rel != "." {
+		path = module + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Fset: fset, Files: files}, nil
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// guardedRe extracts the mutex name from a "// guarded by mu" field
+// comment.
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// LockCheck enforces the repository's mutex-annotation convention: a
+// struct field whose declaration carries a "// guarded by <mutex>" comment
+// may only be read or written by functions that lock <mutex> on the same
+// object, or by helpers whose name ends in "Locked" (called with the lock
+// already held).
+//
+// The check is syntactic: an access `x.field` requires a `x.<mutex>.Lock()`
+// or `x.<mutex>.RLock()` call somewhere in the same function. That catches
+// the dominant bug shape — a new method touching shared node state with no
+// locking at all — without needing whole-program flow analysis.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flags accesses to '// guarded by <mutex>' struct fields from functions " +
+		"that never lock that mutex on the same object",
+	Run: runLockCheck,
+}
+
+func runLockCheck(pass *Pass) error {
+	// Pass 1: collect guarded field names and their mutexes across the
+	// package. Field names map to the set of mutex names guarding them so
+	// two structs may annotate a same-named field.
+	guarded := make(map[string]map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardedMutex(field)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					set := guarded[name.Name]
+					if set == nil {
+						set = make(map[string]bool)
+						guarded[name.Name] = set
+					}
+					set[mutex] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Pass 2: within each function, collect the mutex paths it locks, then
+	// flag guarded-field accesses with no matching lock.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedPaths(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				mutexes := guarded[sel.Sel.Name]
+				if len(mutexes) == 0 {
+					return true
+				}
+				base := selectorPath(sel.X)
+				if base == "" {
+					return true // computed base (call, index); out of scope
+				}
+				for m := range mutexes {
+					if locked[base+"."+m] {
+						return true
+					}
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s is accessed without holding %s (field is annotated 'guarded by %s'); lock it, or move the access into a *Locked helper",
+					base, sel.Sel.Name, firstMutex(mutexes, base), firstMutex(mutexes, ""))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guardedMutex returns the mutex name from a field's "guarded by" comment,
+// or "".
+func guardedMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedPaths returns the dotted paths on which body calls Lock or RLock,
+// e.g. {"n.mu": true, "other.qrpMu": true}.
+func lockedPaths(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if path := selectorPath(sel.X); path != "" {
+			locked[path] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// firstMutex renders one mutex name (optionally qualified by base) for the
+// diagnostic; guarded sets virtually always hold exactly one name.
+func firstMutex(set map[string]bool, base string) string {
+	name := ""
+	for m := range set {
+		if name == "" || m < name {
+			name = m
+		}
+	}
+	if base == "" {
+		return name
+	}
+	return base + "." + name
+}

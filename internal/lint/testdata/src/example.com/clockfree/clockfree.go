@@ -1,0 +1,10 @@
+// Package clockfree is a clockcheck negative fixture: it reads the wall
+// clock freely but is not a simulation package, so the analyzer must stay
+// silent.
+package clockfree
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Nap() { time.Sleep(time.Millisecond) }

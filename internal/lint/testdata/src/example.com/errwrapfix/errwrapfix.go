@@ -1,0 +1,42 @@
+// Package errwrapfix is an errwrap fixture: forwarded errors with and
+// without %w wrapping.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errBase = errors.New("errwrapfix: base")
+
+// Bad: %v flattens the chain; errors.Is can no longer see errBase.
+func load(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want `err is formatted without %w`
+}
+
+// Bad: %s, and a conventionally named error variable.
+func parse(parseErr error) error {
+	return fmt.Errorf("parse failed: %s", parseErr) // want `parseErr is formatted without %w`
+}
+
+// Good: wrapped.
+func open(err error) error {
+	return fmt.Errorf("opening trace: %w", err)
+}
+
+// Good: no error among the arguments.
+func count(n int) error {
+	return fmt.Errorf("bad record count %d", n)
+}
+
+// Good: err.Error() is an explicit, deliberate flattening.
+func flatten(err error) string {
+	return fmt.Sprintf("note: %s", err.Error())
+}
+
+// Good: "stderr" is a writer by convention, not an error.
+func usage() error {
+	stderr := os.Stderr.Name()
+	return fmt.Errorf("see diagnostics on %s", stderr)
+}

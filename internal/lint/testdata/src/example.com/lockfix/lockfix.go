@@ -1,0 +1,56 @@
+// Package lockfix is a lockcheck fixture: a mutex-guarded cache accessed
+// correctly and incorrectly.
+package lockfix
+
+import "sync"
+
+type cache struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+	name  string         // unguarded: config, set once before use
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+func newCache(name string) *cache {
+	return &cache{items: make(map[string]int), name: name}
+}
+
+// Good: lock held on the same object.
+func (c *cache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	return c.items[k]
+}
+
+// Good: *Locked helpers run with the lock already held by their caller.
+func (c *cache) sizeLocked() int { return len(c.items) }
+
+// Good: unguarded fields need no lock.
+func (c *cache) label() string { return c.name }
+
+// Good: RLock counts for read-mostly guards.
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Bad: no lock at all.
+func (c *cache) badGet(k string) int {
+	c.hits++          // want `c\.hits is accessed without holding c\.mu`
+	return c.items[k] // want `c\.items is accessed without holding c\.mu`
+}
+
+// Bad: locks one object, touches another.
+func (c *cache) merge(other *cache) {
+	other.mu.Lock()
+	other.hits++ // good: other.mu is held
+	other.mu.Unlock()
+	c.items = nil // want `c\.items is accessed without holding c\.mu`
+}

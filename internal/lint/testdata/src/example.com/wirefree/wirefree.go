@@ -1,0 +1,5 @@
+// Package wirefree is a wirecheck negative fixture: unchecked indexing
+// outside the wire-format packages is not wirecheck's business.
+package wirefree
+
+func First(b []byte) byte { return b[0] }

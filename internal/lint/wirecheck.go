@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// wireRestricted matches the packages that decode attacker-controlled
+// bytes: both protocol wire formats, the PE parser and the archive
+// handler. An unchecked index in any of them lets one hostile peer crash a
+// month-long crawl with a truncated packet.
+var wireRestricted = regexp.MustCompile(`internal/(gnutella|openft|pe|archive)(/|$)`)
+
+// WireCheck flags functions in wire-format packages that index or slice a
+// []byte parameter without ever consulting len() of that parameter. The
+// heuristic is deliberately coarse-grained — any len(p) use in the
+// function counts as a check — so it stays quiet on correct decoders while
+// catching the real failure shape: a decoder that assumes a minimum
+// payload size it never verifies.
+var WireCheck = &Analyzer{
+	Name: "wirecheck",
+	Doc: "flags wire-format functions that index/slice a []byte parameter " +
+		"without any len() check of it, the bounds-panic class hostile peers exploit",
+	Run: runWireCheck,
+}
+
+func runWireCheck(pass *Pass) error {
+	if !wireRestricted.MatchString(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, param := range byteSliceParams(fn) {
+				checkParamBounds(pass, fn, param)
+			}
+		}
+	}
+	return nil
+}
+
+// byteSliceParams returns the names of fn's parameters of type []byte.
+func byteSliceParams(fn *ast.FuncDecl) []string {
+	var params []string
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		arr, ok := field.Type.(*ast.ArrayType)
+		if !ok || arr.Len != nil {
+			continue
+		}
+		elem, ok := arr.Elt.(*ast.Ident)
+		if !ok || elem.Name != "byte" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				params = append(params, name.Name)
+			}
+		}
+	}
+	return params
+}
+
+// checkParamBounds reports the first index/slice of param in fn when the
+// body never reads len(param).
+func checkParamBounds(pass *Pass, fn *ast.FuncDecl, param string) {
+	var firstUse ast.Node
+	hasLenCheck := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fun, ok := x.Fun.(*ast.Ident); ok && fun.Name == "len" && len(x.Args) == 1 {
+				if arg, ok := x.Args[0].(*ast.Ident); ok && arg.Name == param {
+					hasLenCheck = true
+				}
+			}
+		case *ast.IndexExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == param && firstUse == nil {
+				firstUse = x
+			}
+		case *ast.SliceExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == param && firstUse == nil {
+				// Bare p[:] re-slices never go out of bounds.
+				if x.Low != nil || x.High != nil {
+					firstUse = x
+				}
+			}
+		}
+		return true
+	})
+	if firstUse != nil && !hasLenCheck {
+		pass.Reportf(firstUse.Pos(),
+			"%s indexes %s without a length check: hostile peers send truncated payloads, bound it with len(%s) first",
+			fn.Name.Name, param, param)
+	}
+}

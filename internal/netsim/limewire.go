@@ -10,6 +10,7 @@ import (
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/malware"
 	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/simclock"
 	"p2pmalware/internal/stats"
 	"p2pmalware/internal/workload"
 )
@@ -405,7 +406,10 @@ func BuildLimeWire(cfg LimeWireConfig) (*LimeWireNet, error) {
 			wantLeaves++
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
+	// This polls real goroutine progress (the acceptors' registration),
+	// so it runs on the wall clock even when the trace is virtual-time.
+	wall := simclock.Real{}
+	deadline := wall.Now().Add(10 * time.Second)
 	for {
 		total := 0
 		for _, up := range net_.Ultrapeers {
@@ -415,10 +419,10 @@ func BuildLimeWire(cfg LimeWireConfig) (*LimeWireNet, error) {
 		if total >= wantLeaves {
 			break
 		}
-		if time.Now().After(deadline) {
+		if wall.Now().After(deadline) {
 			return fail(fmt.Errorf("netsim: only %d of %d leaves registered", total, wantLeaves))
 		}
-		time.Sleep(2 * time.Millisecond)
+		wall.Sleep(2 * time.Millisecond)
 	}
 
 	return net_, nil

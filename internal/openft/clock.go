@@ -1,0 +1,20 @@
+package openft
+
+import (
+	"time"
+
+	"p2pmalware/internal/simclock"
+)
+
+// Time discipline (enforced by cmd/p2plint's clockcheck): this package
+// never calls time.Now or time.Sleep directly. All of its time reads bound
+// real I/O — socket deadlines and waits on other goroutines' progress — so
+// they go through ioClock, which is always the real clock. Driving these
+// from a virtual clock would produce deadlines in the simulated past and
+// kill every read. (OpenFT keeps no trace-time observations; if it grows
+// any, give them a configurable Clock like gnutella.Config.Clock.)
+var ioClock simclock.Clock = simclock.Real{}
+
+// ioDeadline returns the wall-clock instant d from now, for
+// net.Conn.Set*Deadline calls.
+func ioDeadline(d time.Duration) time.Time { return ioClock.Now().Add(d) }

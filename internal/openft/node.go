@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/simclock"
 )
 
 // Config configures an OpenFT node.
@@ -46,19 +47,19 @@ type Node struct {
 
 	listener net.Listener
 	mu       sync.Mutex
-	sessions map[*session]bool
-	closed   bool
+	sessions map[*session]bool // guarded by mu
+	closed   bool              // guarded by mu
 	wg       sync.WaitGroup
 
 	// SEARCH state: child share index.
-	childShares map[*session]map[string]childShare // md5 -> share
-	searchSeen  map[uint32]bool                    // forwarded-search dedup (LRU-ish reset)
-	respRoutes  map[uint32]*session                // search id -> origin session
+	childShares map[*session]map[string]childShare // md5 -> share; guarded by mu
+	searchSeen  map[uint32]bool                    // forwarded-search dedup (LRU-ish reset); guarded by mu
+	respRoutes  map[uint32]*session                // search id -> origin session; guarded by mu
 
 	// USER state: pending searches and local share-by-md5.
-	myShares   map[string]*p2p.SharedFile // md5 -> file
-	mySearches map[uint32]bool
-	knownNodes map[string]Class // "ip:port" -> class, from NODELIST
+	myShares   map[string]*p2p.SharedFile // md5 -> file; guarded by mu
+	mySearches map[uint32]bool            // guarded by mu
+	knownNodes map[string]Class           // "ip:port" -> class, from NODELIST; guarded by mu
 }
 
 // globalSearchID issues process-unique search IDs.
@@ -85,7 +86,7 @@ type session struct {
 	done   chan struct{}
 	once   sync.Once
 	sendMu sync.Mutex // serializes direct writes before the writer starts
-	direct bool       // handshake phase: write synchronously
+	direct bool       // handshake phase: write synchronously; guarded by sendMu
 }
 
 // sessionQueueCap bounds per-session outbound backlog.
@@ -212,7 +213,7 @@ func (n *Node) acceptLoop() {
 
 func (n *Node) dispatch(c net.Conn) {
 	br := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	peek, err := br.Peek(4)
 	if err != nil {
 		c.Close()
@@ -230,7 +231,7 @@ func (n *Node) acceptSession(c net.Conn, br *bufio.Reader) {
 	s := newSession(n, c, br)
 	// Acceptor side: expect VersionReq + NodeInfo, answer with
 	// VersionResp + our NodeInfo.
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	p, err := ReadPacket(br)
 	if err != nil || p.Cmd != CmdVersionReq {
 		c.Close()
@@ -289,7 +290,7 @@ func (n *Node) connect(addr string) (*session, error) {
 		c.Close()
 		return nil, err
 	}
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	p, err := ReadPacket(br)
 	if err != nil || p.Cmd != CmdVersionResp {
 		c.Close()
@@ -335,15 +336,16 @@ func (n *Node) BecomeChildOf(addr string) error {
 		return err
 	}
 	// The accept/deny answer arrives on the reader loop; wait for it.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	// This polls real goroutine progress, so it runs on wall time.
+	deadline := ioClock.Now().Add(5 * time.Second)
+	for ioClock.Now().Before(deadline) {
 		n.mu.Lock()
 		accepted := s.isChild
 		n.mu.Unlock()
 		if accepted {
 			return n.shareAll(s)
 		}
-		time.Sleep(5 * time.Millisecond)
+		simclock.Sleep(ioClock, 5*time.Millisecond)
 	}
 	return errors.New("openft: parent did not accept child request")
 }

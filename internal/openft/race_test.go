@@ -1,0 +1,111 @@
+package openft
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"p2pmalware/internal/p2p"
+)
+
+// TestNodeChurnRace hammers one SEARCH hub with concurrent USER churn —
+// connect, become child, search, disconnect — from many goroutines at
+// once. It exists for the -race build: the assertions are weak on purpose,
+// the interleavings are the test.
+func TestNodeChurnRace(t *testing.T) {
+	t.Parallel()
+	mem := p2p.NewMem()
+	hub := NewNode(Config{
+		Class:       ClassSearch | ClassIndex,
+		Transport:   mem,
+		ListenAddr:  "hub-race:1215",
+		AdvertiseIP: net.IPv4(128, 213, 0, 1), AdvertisePort: 1215,
+		Alias:       "race-hub",
+		MaxChildren: 256,
+	})
+	if err := hub.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	const workers = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				lib := p2p.NewLibrary()
+				name := fmt.Sprintf("specimen-%d-%d.exe", w, r)
+				if _, err := lib.Add(p2p.StaticFile(name, []byte("x"))); err != nil {
+					t.Error(err)
+					return
+				}
+				user := NewNode(Config{
+					Class:       ClassUser,
+					Transport:   mem,
+					ListenAddr:  fmt.Sprintf("user-race-%d-%d:1216", w, r),
+					AdvertiseIP: net.IPv4(128, 213, byte(w+1), byte(r+1)), AdvertisePort: 1216,
+					Alias:   fmt.Sprintf("user-%d-%d", w, r),
+					Library: lib,
+				})
+				if err := user.Start(); err != nil {
+					t.Error(err)
+					return
+				}
+				// BecomeChildOf may lose the race against another worker
+				// filling the last child slot; only the churn matters here.
+				if err := user.BecomeChildOf(hub.Addr()); err == nil {
+					user.Search(name)
+				}
+				user.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNodeCloseRace closes a hub while users are still connecting to it,
+// exercising the accept-loop/Close shutdown path under -race.
+func TestNodeCloseRace(t *testing.T) {
+	t.Parallel()
+	mem := p2p.NewMem()
+	for i := 0; i < 4; i++ {
+		i := i
+		hub := NewNode(Config{
+			Class:       ClassSearch,
+			Transport:   mem,
+			ListenAddr:  fmt.Sprintf("hub-close-%d:1215", i),
+			AdvertiseIP: net.IPv4(128, 214, 0, byte(i+1)), AdvertisePort: 1215,
+			MaxChildren: 64,
+		})
+		if err := hub.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			j := j
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				user := NewNode(Config{
+					Class:       ClassUser,
+					Transport:   mem,
+					ListenAddr:  fmt.Sprintf("user-close-%d-%d:1216", i, j),
+					AdvertiseIP: net.IPv4(128, 214, byte(i+1), byte(j+1)), AdvertisePort: 1216,
+				})
+				if err := user.Start(); err != nil {
+					t.Error(err)
+					return
+				}
+				user.Connect(hub.Addr()) // racing the Close below; errors expected
+				user.Close()
+			}()
+		}
+		hub.Close()
+		wg.Wait()
+	}
+}

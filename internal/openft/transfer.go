@@ -25,7 +25,7 @@ var ErrNotFound = errors.New("openft: file not found")
 
 func (n *Node) serveHTTP(c net.Conn, br *bufio.Reader) {
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SetDeadline(ioDeadline(30 * time.Second))
 	line, err := br.ReadString('\n')
 	if err != nil {
 		return
@@ -74,7 +74,7 @@ func Download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
 		return nil, fmt.Errorf("openft: download dial %s: %w", addr, err)
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SetDeadline(ioDeadline(30 * time.Second))
 	if _, err := fmt.Fprintf(c, "GET /md5/%s HTTP/1.1\r\nConnection: close\r\n\r\n", md5sum); err != nil {
 		return nil, fmt.Errorf("openft: download write: %w", err)
 	}

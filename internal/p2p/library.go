@@ -73,9 +73,9 @@ func Keywords(s string) []string {
 // use: population churn adds and removes files while query handling reads.
 type Library struct {
 	mu        sync.RWMutex
-	files     map[uint32]*SharedFile
-	byKeyword map[string]map[uint32]bool
-	nextIndex uint32
+	files     map[uint32]*SharedFile     // guarded by mu
+	byKeyword map[string]map[uint32]bool // guarded by mu
+	nextIndex uint32                     // guarded by mu
 }
 
 // NewLibrary returns an empty library.

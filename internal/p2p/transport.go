@@ -35,7 +35,7 @@ func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 // single Mem value is one isolated network universe.
 type Mem struct {
 	mu        sync.Mutex
-	listeners map[string]*memListener
+	listeners map[string]*memListener // guarded by mu
 }
 
 // NewMem returns an empty in-memory network.

@@ -21,21 +21,87 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Sleeper is implemented by clocks that can block a goroutine until a
+// duration has elapsed on that clock.
+type Sleeper interface {
+	// Sleep blocks until the clock has advanced by d.
+	Sleep(d time.Duration)
+}
+
+// Delayer is implemented by clocks that can deliver a one-shot timer
+// channel, the simclock equivalent of time.After.
+type Delayer interface {
+	// After returns a channel that receives the clock's time once it has
+	// advanced by d.
+	After(d time.Duration) <-chan time.Time
+}
+
 // Real is a Clock backed by the system clock.
 type Real struct{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
 
+// Sleep implements Sleeper with the system clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Delayer with the system clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// OrReal returns c, or the real clock when c is nil, so config structs can
+// leave their Clock field unset.
+func OrReal(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}
+
+// Sleep blocks until c has advanced by d. Clocks that do not implement
+// Sleeper fall back to polling c.Now on a short wall-clock tick, so the
+// call still returns once the clock's time has moved far enough.
+func Sleep(c Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s, ok := c.(Sleeper); ok {
+		s.Sleep(d)
+		return
+	}
+	target := c.Now().Add(d)
+	for c.Now().Before(target) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// After returns a channel that receives c's time once it has advanced by
+// d; the simclock replacement for time.After.
+func After(c Clock, d time.Duration) <-chan time.Time {
+	if t, ok := c.(Delayer); ok {
+		return t.After(d)
+	}
+	ch := make(chan time.Time, 1)
+	go func() {
+		Sleep(c, d)
+		ch <- c.Now()
+	}()
+	return ch
+}
+
+// Since returns the time elapsed on c since t; the simclock replacement
+// for time.Since.
+func Since(c Clock, t time.Time) time.Duration { return c.Now().Sub(t) }
+
 // Virtual is a discrete-event virtual clock. Events scheduled on the clock
 // run in timestamp order when the clock is advanced; time only moves when
 // Advance or Run is called. Virtual is safe for concurrent use.
 type Virtual struct {
 	mu     sync.Mutex
-	now    time.Time
-	queue  eventQueue
-	seq    uint64
-	inStep bool
+	now    time.Time  // guarded by mu
+	queue  eventQueue // guarded by mu
+	seq    uint64     // guarded by mu
+	inStep bool       // guarded by mu
+	moved  *sync.Cond // signals sleepers when now advances; lazily built under mu
 }
 
 // Event is a scheduled callback.
@@ -113,6 +179,48 @@ func (v *Virtual) ScheduleAt(t time.Time, fn func(now time.Time)) {
 	heap.Push(&v.queue, &event{at: at, seq: v.seq, fn: fn})
 }
 
+// movedLocked returns the condition variable signalling clock movement,
+// building it on first use. Callers must hold v.mu.
+func (v *Virtual) movedLocked() *sync.Cond {
+	if v.moved == nil {
+		v.moved = sync.NewCond(&v.mu)
+	}
+	return v.moved
+}
+
+// broadcastLocked wakes every goroutine blocked in Sleep. Callers must
+// hold v.mu.
+func (v *Virtual) broadcastLocked() {
+	if v.moved != nil {
+		v.moved.Broadcast()
+	}
+}
+
+// Sleep implements Sleeper: it blocks until the virtual clock has advanced
+// by d. Another goroutine must drive the clock via Advance or Run, exactly
+// as wall-clock sleeps depend on the scheduler; with no driver the call
+// blocks forever.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	target := v.now.Add(d)
+	cond := v.movedLocked()
+	for v.now.Before(target) {
+		cond.Wait()
+	}
+}
+
+// After implements Delayer: the returned channel receives the virtual time
+// once the clock has advanced by d.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.Schedule(d, func(now time.Time) { ch <- now })
+	return ch
+}
+
 // Pending returns the number of events not yet fired.
 func (v *Virtual) Pending() int {
 	v.mu.Lock()
@@ -138,6 +246,7 @@ func (v *Virtual) Advance(d time.Duration) int {
 		e := heap.Pop(&v.queue).(*event)
 		if e.at.After(v.now) {
 			v.now = e.at
+			v.broadcastLocked()
 		}
 		v.inStep = true
 		v.mu.Unlock()
@@ -147,6 +256,7 @@ func (v *Virtual) Advance(d time.Duration) int {
 		fired++
 	}
 	v.now = deadline
+	v.broadcastLocked()
 	v.mu.Unlock()
 	return fired
 }
@@ -169,6 +279,7 @@ func (v *Virtual) Run(maxEvents int) int {
 		e := heap.Pop(&v.queue).(*event)
 		if e.at.After(v.now) {
 			v.now = e.at
+			v.broadcastLocked()
 		}
 		v.inStep = true
 		v.mu.Unlock()
