@@ -1,6 +1,6 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same gates.
 
-.PHONY: build test race lint ci
+.PHONY: build test race lint fuzz-smoke ci
 
 build:
 	go build ./...
@@ -12,7 +12,16 @@ race:
 	go test -race ./...
 
 lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	go vet ./...
 	go run ./cmd/p2plint ./...
 
-ci: build lint race
+# Short fuzz runs over the three wire decoders; CI uses the same budget so
+# a regression that crashes on near-valid input is caught before merge.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzParsePong -fuzztime=10s ./internal/gnutella
+	go test -run='^$$' -fuzz=FuzzReadPacket -fuzztime=10s ./internal/openft
+	go test -run='^$$' -fuzz=FuzzPEParse -fuzztime=10s ./internal/pe
+
+ci: build lint race fuzz-smoke

@@ -1,5 +1,6 @@
 // Command p2plint runs the repository's custom static-analysis suite
-// (clockcheck, lockcheck, wirecheck, errwrap — see internal/lint) over the
+// (clockcheck, lockcheck, wirecheck, errwrap, plus the dataflow-based
+// taintcheck, leakcheck, and exhaustcheck — see internal/lint) over the
 // given packages and exits non-zero on any finding. It is part of the CI
 // merge gate:
 //

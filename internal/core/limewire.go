@@ -11,6 +11,7 @@ import (
 	"p2pmalware/internal/gnutella"
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
 )
@@ -153,7 +154,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 					Network:       dataset.LimeWire,
 					Query:         term.Text,
 					QueryCategory: string(term.Category),
-					Filename:      h.hit.Name,
+					Filename:      p2p.SanitizeFilename(h.hit.Name),
 					Size:          int64(h.hit.Size),
 					SourceIP:      h.qh.IP.String(),
 					SourcePort:    h.qh.Port,
@@ -162,7 +163,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 					ContentID:     h.hit.Extensions,
 					Vendor:        h.qh.Vendor,
 					PushFlagged:   h.qh.Flags&gnutella.QHDPush != 0,
-					Downloadable:  archive.IsDownloadable(h.hit.Name),
+					Downloadable:  archive.IsDownloadable(p2p.SanitizeFilename(h.hit.Name)),
 				}
 				if rec.Downloadable {
 					s.downloadLimeWire(client, net_, &rec, h, cache)

@@ -11,6 +11,7 @@ import (
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/netsim"
 	"p2pmalware/internal/openft"
+	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/simclock"
 )
 
@@ -130,13 +131,13 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 					Network:       dataset.OpenFT,
 					Query:         term.Text,
 					QueryCategory: string(term.Category),
-					Filename:      r.Path,
+					Filename:      p2p.SanitizeFilename(r.Path),
 					Size:          int64(r.Size),
 					SourceIP:      r.IP.String(),
 					SourcePort:    r.Port,
 					SourceClass:   ipaddr.Classify(r.IP).String(),
 					ContentID:     r.MD5,
-					Downloadable:  archive.IsDownloadable(r.Path),
+					Downloadable:  archive.IsDownloadable(p2p.SanitizeFilename(r.Path)),
 				}
 				if rec.Downloadable {
 					s.downloadOpenFT(net_, &rec, r, cache)

@@ -1,0 +1,28 @@
+package gnutella
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// FuzzParsePong hammers the pong decoder with arbitrary payloads: it must
+// never panic, and every accepted payload must survive a decode/encode
+// round trip — the properties a hostile servent's pongs get to test in a
+// live crawl.
+func FuzzParsePong(f *testing.F) {
+	f.Add(Pong{Port: 6346, IP: net.IPv4(10, 0, 0, 1), Files: 42, KB: 1024}.Encode())
+	f.Add(Pong{Port: 65535, IP: net.IPv4(255, 255, 255, 255), Files: ^uint32(0), KB: ^uint32(0)}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := ParsePong(b)
+		if err != nil {
+			return
+		}
+		out := p.Encode()
+		if !bytes.Equal(out, b[:14]) {
+			t.Fatalf("pong round trip diverged:\n in  %x\n out %x", b[:14], out)
+		}
+	})
+}

@@ -23,6 +23,8 @@ import (
 )
 
 // MsgType is the descriptor payload type byte.
+//
+// lint:wireenum
 type MsgType byte
 
 // Gnutella descriptor types.

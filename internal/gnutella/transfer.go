@@ -2,6 +2,7 @@ package gnutella
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,29 @@ var (
 	ErrFirewalled = errors.New("gnutella: servent is firewalled, use push")
 	ErrPushWait   = errors.New("gnutella: push callback never arrived")
 )
+
+// MaxTransferSize caps a single HTTP transfer body. A hostile servent
+// advertising a multi-gigabyte Content-Length must not be able to make
+// the crawler allocate it up front.
+const MaxTransferSize = 64 << 20
+
+// readBody reads a response body whose length the peer advertised,
+// clamped against MaxTransferSize and streamed via io.CopyN rather than
+// allocated in one shot; peerLen < 0 (no Content-Length header) reads to
+// EOF under the same cap.
+func readBody(br *bufio.Reader, peerLen int64) ([]byte, error) {
+	if peerLen > MaxTransferSize {
+		return nil, fmt.Errorf("gnutella: content length %d exceeds transfer cap %d", peerLen, int64(MaxTransferSize))
+	}
+	if peerLen < 0 {
+		return io.ReadAll(io.LimitReader(br, MaxTransferSize))
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, peerLen); err != nil {
+		return nil, fmt.Errorf("gnutella: download body: %w", err)
+	}
+	return buf.Bytes(), nil
+}
 
 func (n *Node) serveHTTP(c net.Conn) {
 	defer c.Close()
@@ -230,14 +254,7 @@ func httpGet(c net.Conn, br *bufio.Reader, index uint32, name string) ([]byte, e
 	default:
 		return nil, fmt.Errorf("gnutella: download status %d", code)
 	}
-	if contentLength < 0 {
-		return io.ReadAll(br)
-	}
-	body := make([]byte, contentLength)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return nil, fmt.Errorf("gnutella: download body: %w", err)
-	}
-	return body, nil
+	return readBody(br, contentLength)
 }
 
 // DownloadRange fetches length bytes starting at offset (length < 0 means
@@ -293,14 +310,7 @@ func DownloadRange(tr p2p.Transport, addr string, index uint32, name string, off
 	default:
 		return nil, fmt.Errorf("gnutella: range download status %d", code)
 	}
-	if contentLength < 0 {
-		return io.ReadAll(br)
-	}
-	body := make([]byte, contentLength)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return nil, fmt.Errorf("gnutella: download body: %w", err)
-	}
-	return body, nil
+	return readBody(br, contentLength)
 }
 
 // pushKey identifies a pending push-download.

@@ -1,0 +1,778 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// This file is the intraprocedural dataflow core the taint analyzers run
+// on: an SSA-lite abstract interpreter over the parsed (untyped) AST. Each
+// function body is walked in statement order with an environment mapping
+// variable paths ("x", "s.info", "r.b") to taint facts; branches are
+// walked on cloned environments and joined, and loop bodies are walked
+// twice so loop-carried facts reach a fixpoint for this lattice (facts
+// only move up, and the lattice has height two).
+//
+// The lattice, from bottom to top:
+//
+//	trusted   — locally constructed values, constants, len() results
+//	clamped   — an untrusted value after a comparison against a Max*
+//	            constant / literal / len() bound (safe to allocate with,
+//	            still attacker-chosen content)
+//	untrusted — read off the wire, or derived from something that was
+//
+// Allocation-shaped sinks (make sizes, io.CopyN limits) accept clamped;
+// interpretation-shaped sinks (filesystem paths, format strings) require
+// trusted, which only a `// lint:sanitizer` function can produce.
+
+// taint is one lattice fact.
+type taint uint8
+
+const (
+	taintTrusted taint = iota
+	taintClamped
+	taintUntrusted
+)
+
+// String renders the fact for diagnostics.
+func (t taint) String() string {
+	switch t {
+	case taintClamped:
+		return "clamped"
+	case taintUntrusted:
+		return "untrusted"
+	default:
+		return "trusted"
+	}
+}
+
+// joinTaint is the lattice join (least upper bound).
+func joinTaint(a, b taint) taint {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// flowEnv maps variable paths to taint facts. Absent paths are trusted.
+type flowEnv map[string]taint
+
+func (e flowEnv) clone() flowEnv {
+	out := make(flowEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto folds other into e pathwise.
+func (e flowEnv) joinInto(other flowEnv) {
+	for k, v := range other {
+		e[k] = joinTaint(e[k], v)
+	}
+}
+
+// set records a fact, dropping trusted entries to keep envs small.
+func (e flowEnv) set(path string, t taint) {
+	if path == "" {
+		return
+	}
+	if t == taintTrusted {
+		delete(e, path)
+		return
+	}
+	e[path] = t
+}
+
+// untrustedParamRe matches parameter names that are attacker-controlled by
+// naming convention: a decoder taking peerLen or remoteName is declaring
+// its provenance in the signature.
+var untrustedParamRe = regexp.MustCompile(`^(peer|remote|wire|untrusted|hostile|attacker)`)
+
+// parseFuncRe matches functions that decode or read external input; their
+// byte/string parameters are untrusted and their results carry the join of
+// their argument taints.
+var parseFuncRe = regexp.MustCompile(`^(Parse|parse|Decode|decode|Unmarshal|unmarshal|Read|read)`)
+
+// clampNameRe matches identifiers usable as clamp bounds: declared Max*
+// (or max*) limit constants.
+var clampNameRe = regexp.MustCompile(`^[Mm]ax[A-Z0-9_]`)
+
+// readerMethodSources are methods that pull bytes off a stream; in this
+// codebase buffered readers wrap sockets, so their results are untrusted.
+var readerMethodSources = map[string]bool{
+	"ReadString": true, "ReadBytes": true, "ReadSlice": true,
+	"ReadLine": true, "ReadByte": true, "ReadRune": true, "Peek": true,
+}
+
+// builtinConversions are builtin type names whose call form is a
+// conversion: taint passes through unchanged.
+var builtinConversions = map[string]bool{
+	"string": true, "byte": true, "rune": true, "bool": true,
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "float32": true, "float64": true,
+	"complex64": true, "complex128": true,
+}
+
+// propagatingPkgs are stdlib packages whose functions transform their
+// input without sanitizing it: results carry the join of argument taints.
+var propagatingPkgs = map[string]bool{
+	"strings": true, "bytes": true, "strconv": true, "fmt": true,
+	"binary": true, "hex": true, "base32": true, "base64": true, "utf8": true,
+}
+
+// funcFlow drives the abstract interpretation of one function body.
+type funcFlow struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	env  flowEnv
+	// sanitizers are function names (unqualified) annotated
+	// `// lint:sanitizer`; calling one launders taint to trusted.
+	sanitizers map[string]bool
+	// onCall is invoked for every call expression with the flow state at
+	// that program point; sink checks live there.
+	onCall func(f *funcFlow, call *ast.CallExpr)
+}
+
+// run seeds parameters and interprets the body.
+func (f *funcFlow) run() {
+	if f.fn.Body == nil {
+		return
+	}
+	f.env = make(flowEnv)
+	isParser := parseFuncRe.MatchString(f.fn.Name.Name)
+	if f.fn.Type.Params != nil {
+		for _, field := range f.fn.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if untrustedParamRe.MatchString(name.Name) ||
+					(isParser && isByteSlice(field.Type)) {
+					f.env.set(name.Name, taintUntrusted)
+				}
+			}
+		}
+	}
+	f.walkBlock(f.fn.Body)
+}
+
+// isByteSlice reports whether a parameter type is []byte — the raw-input
+// shape a wire parser receives. Plain string parameters of parse*
+// functions are NOT treated as sources (they name files and directories
+// as often as wire fields); string provenance is carried by the
+// peer*/remote* naming convention instead.
+func isByteSlice(t ast.Expr) bool {
+	x, ok := t.(*ast.ArrayType)
+	if !ok || x.Len != nil {
+		return false
+	}
+	elem, ok := x.Elt.(*ast.Ident)
+	return ok && elem.Name == "byte"
+}
+
+func (f *funcFlow) walkBlock(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		f.walkStmt(s)
+	}
+}
+
+func (f *funcFlow) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		f.eval(x.X)
+	case *ast.AssignStmt:
+		f.walkAssign(x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					t := taintTrusted
+					if i < len(vs.Values) {
+						t = f.eval(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						t = f.eval(vs.Values[0])
+					}
+					f.env.set(name.Name, t)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		f.walkIf(x)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			f.walkStmt(x.Init)
+		}
+		if x.Cond != nil {
+			f.eval(x.Cond)
+		}
+		// Two passes reach the fixpoint for a height-two lattice.
+		for i := 0; i < 2; i++ {
+			f.walkBlock(x.Body)
+			if x.Post != nil {
+				f.walkStmt(x.Post)
+			}
+		}
+	case *ast.RangeStmt:
+		t := f.eval(x.X)
+		if x.Key != nil {
+			f.assignTo(x.Key, taintTrusted, x.Tok == token.DEFINE)
+		}
+		if x.Value != nil {
+			f.assignTo(x.Value, t, x.Tok == token.DEFINE)
+		}
+		for i := 0; i < 2; i++ {
+			f.walkBlock(x.Body)
+		}
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			f.walkStmt(x.Init)
+		}
+		if x.Tag != nil {
+			f.eval(x.Tag)
+		}
+		f.walkCaseBodies(x.Body)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			f.walkStmt(x.Init)
+		}
+		f.walkStmt(x.Assign)
+		f.walkCaseBodies(x.Body)
+	case *ast.SelectStmt:
+		f.walkCaseBodies(x.Body)
+	case *ast.BlockStmt:
+		f.walkBlock(x)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			f.eval(r)
+		}
+	case *ast.GoStmt:
+		f.eval(x.Call)
+	case *ast.DeferStmt:
+		f.eval(x.Call)
+	case *ast.SendStmt:
+		f.eval(x.Chan)
+		f.eval(x.Value)
+	case *ast.IncDecStmt:
+		f.eval(x.X)
+	case *ast.LabeledStmt:
+		f.walkStmt(x.Stmt)
+	}
+}
+
+// walkCaseBodies interprets each clause on a cloned environment and joins
+// the results, modelling "any one branch may run".
+func (f *funcFlow) walkCaseBodies(body *ast.BlockStmt) {
+	base := f.env.clone()
+	merged := f.env
+	for _, clause := range body.List {
+		f.env = base.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				f.eval(e)
+			}
+			for _, s := range c.Body {
+				f.walkStmt(s)
+			}
+		case *ast.CommClause:
+			if c.Comm != nil {
+				f.walkStmt(c.Comm)
+			}
+			for _, s := range c.Body {
+				f.walkStmt(s)
+			}
+		}
+		merged.joinInto(f.env)
+	}
+	f.env = merged
+}
+
+// walkIf interprets both arms on clones, applies bound-check clamping, and
+// joins. A guard whose taken arm terminates (the `if n > Max { return }`
+// idiom) leaves the fallthrough path clamped.
+func (f *funcFlow) walkIf(x *ast.IfStmt) {
+	if x.Init != nil {
+		f.walkStmt(x.Init)
+	}
+	f.eval(x.Cond)
+
+	thenEnv := f.env.clone()
+	elseEnv := f.env.clone()
+
+	// A true condition like `x <= Max` bounds x inside the then-arm; a
+	// false condition like `x > Max` bounds x on the else/fallthrough path.
+	clampPaths(thenEnv, boundedWhenTrue(x.Cond))
+	clampPaths(elseEnv, boundedWhenFalse(x.Cond))
+
+	saved := f.env
+	f.env = thenEnv
+	f.walkBlock(x.Body)
+	thenEnv = f.env
+
+	f.env = elseEnv
+	if x.Else != nil {
+		f.walkStmt(x.Else)
+	}
+	elseEnv = f.env
+	f.env = saved
+
+	thenTerm := blockTerminates(x.Body)
+	elseTerm := x.Else != nil && stmtTerminates(x.Else)
+	switch {
+	case thenTerm && !elseTerm:
+		f.env = elseEnv
+	case elseTerm && !thenTerm:
+		f.env = thenEnv
+	default:
+		thenEnv.joinInto(elseEnv)
+		f.env = thenEnv
+	}
+}
+
+// clampPaths downgrades untrusted facts to clamped for bounded paths.
+func clampPaths(env flowEnv, paths []string) {
+	for _, p := range paths {
+		if env[p] == taintUntrusted {
+			env[p] = taintClamped
+		}
+	}
+}
+
+func (f *funcFlow) walkAssign(x *ast.AssignStmt) {
+	define := x.Tok == token.DEFINE
+	switch {
+	case x.Tok == token.ASSIGN || define:
+		if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+			// Multi-value call / map lookup: every lvalue gets the taint.
+			t := f.eval(x.Rhs[0])
+			for _, lhs := range x.Lhs {
+				f.assignTo(lhs, t, define)
+			}
+			return
+		}
+		for i, lhs := range x.Lhs {
+			if i < len(x.Rhs) {
+				f.assignTo(lhs, f.eval(x.Rhs[i]), define)
+			}
+		}
+	default:
+		// Compound assignment (+=, |=, ...): join into the target.
+		for i, lhs := range x.Lhs {
+			if i >= len(x.Rhs) {
+				break
+			}
+			t := f.eval(x.Rhs[i])
+			if path := selectorPath(lhs); path != "" {
+				f.env.set(path, joinTaint(f.env[path], t))
+			}
+		}
+	}
+}
+
+// assignTo stores a fact at an lvalue. Writes through an index (b[i] = v)
+// join into the container; writes we cannot name are dropped.
+func (f *funcFlow) assignTo(lhs ast.Expr, t taint, define bool) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		f.env.set(l.Name, t)
+	case *ast.SelectorExpr:
+		if path := selectorPath(l); path != "" {
+			f.env.set(path, t)
+		}
+	case *ast.IndexExpr:
+		if path := selectorPath(l.X); path != "" {
+			f.env.set(path, joinTaint(f.env[path], t))
+		}
+	case *ast.StarExpr, *ast.ParenExpr:
+		// Writes through pointers are not tracked.
+	}
+	_ = define
+}
+
+// eval computes the taint of an expression, firing the call hook and
+// modelling call side effects along the way.
+func (f *funcFlow) eval(e ast.Expr) taint {
+	switch x := e.(type) {
+	case nil:
+		return taintTrusted
+	case *ast.Ident:
+		return f.env[x.Name]
+	case *ast.SelectorExpr:
+		if path := selectorPath(x); path != "" {
+			if t, ok := f.env[path]; ok {
+				return t
+			}
+		}
+		// Wire payload fields are the canonical source: any .Payload read
+		// is bytes a peer chose.
+		if x.Sel.Name == "Payload" {
+			return taintUntrusted
+		}
+		return f.eval(x.X)
+	case *ast.ParenExpr:
+		return f.eval(x.X)
+	case *ast.StarExpr:
+		return f.eval(x.X)
+	case *ast.UnaryExpr:
+		return f.eval(x.X)
+	case *ast.IndexExpr:
+		f.eval(x.Index)
+		return f.eval(x.X)
+	case *ast.SliceExpr:
+		f.eval(x.Low)
+		f.eval(x.High)
+		f.eval(x.Max)
+		return f.eval(x.X)
+	case *ast.TypeAssertExpr:
+		return f.eval(x.X)
+	case *ast.BinaryExpr:
+		lt, rt := f.eval(x.X), f.eval(x.Y)
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return taintTrusted
+		}
+		return joinTaint(lt, rt)
+	case *ast.CompositeLit:
+		t := taintTrusted
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t = joinTaint(t, f.eval(kv.Value))
+				continue
+			}
+			t = joinTaint(t, f.eval(elt))
+		}
+		return t
+	case *ast.FuncLit:
+		// Closures are interpreted in place over the captured environment.
+		saved := f.env
+		f.env = saved.clone()
+		f.walkBlock(x.Body)
+		f.env = saved
+		return taintTrusted
+	case *ast.CallExpr:
+		return f.evalCall(x)
+	}
+	return taintTrusted
+}
+
+func (f *funcFlow) evalCall(call *ast.CallExpr) taint {
+	if f.onCall != nil {
+		f.onCall(f, call)
+	}
+	argJoin := func() taint {
+		t := taintTrusted
+		for _, a := range call.Args {
+			t = joinTaint(t, f.eval(a))
+		}
+		return t
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name := fun.Name
+		switch {
+		case name == "len" || name == "cap":
+			// The length of data already held is bounded by that data.
+			argJoin()
+			return taintTrusted
+		case name == "make" || name == "new":
+			argJoin()
+			return taintTrusted
+		case name == "min":
+			// min(x, MaxFoo) is the expression form of a clamp.
+			t := argJoin()
+			for _, a := range call.Args {
+				if isClampBound(a) {
+					if t == taintUntrusted {
+						t = taintClamped
+					}
+					break
+				}
+			}
+			return t
+		case name == "append" || name == "max":
+			return argJoin()
+		case name == "copy":
+			if len(call.Args) == 2 {
+				src := f.eval(call.Args[1])
+				if path := basePath(call.Args[0]); path != "" {
+					f.env.set(path, joinTaint(f.env[path], src))
+				}
+			}
+			return taintTrusted
+		case builtinConversions[name]:
+			return argJoin()
+		case f.sanitizers[name]:
+			argJoin()
+			return taintTrusted
+		case parseFuncRe.MatchString(name):
+			return argJoin()
+		}
+		argJoin()
+		return taintTrusted
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		pkgOrRecv := ""
+		if id, ok := fun.X.(*ast.Ident); ok {
+			pkgOrRecv = id.Name
+		}
+		// binary.LittleEndian.Uint32 nests a selector: the propagation
+		// check wants the root package identifier.
+		root := pkgOrRecv
+		if root == "" {
+			if base := basePath(fun.X); base != "" {
+				root = strings.SplitN(base, ".", 2)[0]
+			}
+		}
+		// io.ReadFull / io.ReadAtLeast / r.Read fill their buffer argument
+		// with stream bytes: a side effect, not a return value.
+		if (pkgOrRecv == "io" && (name == "ReadFull" || name == "ReadAtLeast")) && len(call.Args) >= 2 {
+			f.eval(call.Args[0])
+			f.eval(call.Args[1])
+			if path := basePath(call.Args[1]); path != "" {
+				f.env.set(path, taintUntrusted)
+			}
+			return taintTrusted
+		}
+		if name == "Read" && len(call.Args) == 1 {
+			f.eval(call.Args[0])
+			if path := basePath(call.Args[0]); path != "" {
+				f.env.set(path, taintUntrusted)
+			}
+			return taintTrusted
+		}
+		if pkgOrRecv == "io" && name == "ReadAll" {
+			argJoin()
+			return taintUntrusted
+		}
+		if readerMethodSources[name] {
+			argJoin()
+			return taintUntrusted
+		}
+		if f.sanitizers[name] {
+			argJoin()
+			return taintTrusted
+		}
+		recvTaint := f.eval(fun.X)
+		t := argJoin()
+		switch {
+		case recvTaint == taintUntrusted:
+			// Extraction methods on an untrusted value (fieldReader.u16)
+			// yield untrusted fields.
+			return taintUntrusted
+		case propagatingPkgs[root]:
+			return t
+		case parseFuncRe.MatchString(name):
+			return t
+		}
+		return taintTrusted
+	default:
+		f.eval(call.Fun)
+		argJoin()
+		return taintTrusted
+	}
+}
+
+// basePath names the variable ultimately backing an expression (peeling
+// slices, parens and unary ops), for call side effects on buffers.
+func basePath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return selectorPath(x.(ast.Expr))
+	case *ast.SliceExpr:
+		return basePath(x.X)
+	case *ast.ParenExpr:
+		return basePath(x.X)
+	case *ast.UnaryExpr:
+		return basePath(x.X)
+	case *ast.StarExpr:
+		return basePath(x.X)
+	case *ast.IndexExpr:
+		return basePath(x.X)
+	}
+	return ""
+}
+
+// isClampBound reports whether an expression can serve as the safe side of
+// a bound check: a Max*-named constant, an integer literal, or a len/cap
+// call (data already in memory bounds itself).
+func isClampBound(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return clampNameRe.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return clampNameRe.MatchString(x.Sel.Name)
+	case *ast.ParenExpr:
+		return isClampBound(x.X)
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			return id.Name == "len" || id.Name == "cap"
+		}
+	case *ast.BinaryExpr:
+		return isClampBound(x.X) && isClampBound(x.Y)
+	}
+	return false
+}
+
+// collectValuePaths gathers the variable paths appearing in an expression
+// (skipping call function names), i.e. the values a bound check bounds.
+func collectValuePaths(e ast.Expr, out *[]string) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if !clampNameRe.MatchString(x.Name) {
+			*out = append(*out, x.Name)
+		}
+	case *ast.SelectorExpr:
+		if path := selectorPath(x); path != "" && !clampNameRe.MatchString(x.Sel.Name) {
+			*out = append(*out, path)
+		}
+	case *ast.ParenExpr:
+		collectValuePaths(x.X, out)
+	case *ast.UnaryExpr:
+		collectValuePaths(x.X, out)
+	case *ast.BinaryExpr:
+		collectValuePaths(x.X, out)
+		collectValuePaths(x.Y, out)
+	case *ast.IndexExpr:
+		collectValuePaths(x.X, out)
+		collectValuePaths(x.Index, out)
+	case *ast.StarExpr:
+		collectValuePaths(x.X, out)
+	case *ast.CallExpr:
+		// Conversions and arithmetic helpers: bound applies to their args.
+		for _, a := range x.Args {
+			collectValuePaths(a, out)
+		}
+	}
+}
+
+// comparisonBounds inspects one relational comparison and returns the
+// paths it upper-bounds when the comparison is true (wantTrue) or false.
+func comparisonBounds(cmp *ast.BinaryExpr, wantTrue bool) []string {
+	var valueSide ast.Expr
+	switch cmp.Op {
+	case token.LSS, token.LEQ:
+		// value < bound bounds when true; bound < value bounds when false.
+		if isClampBound(cmp.Y) && wantTrue {
+			valueSide = cmp.X
+		} else if isClampBound(cmp.X) && !wantTrue {
+			valueSide = cmp.Y
+		}
+	case token.GTR, token.GEQ:
+		if isClampBound(cmp.Y) && !wantTrue {
+			valueSide = cmp.X
+		} else if isClampBound(cmp.X) && wantTrue {
+			valueSide = cmp.Y
+		}
+	}
+	if valueSide == nil {
+		return nil
+	}
+	var paths []string
+	collectValuePaths(valueSide, &paths)
+	return paths
+}
+
+// boundedWhenTrue returns the paths known bounded when cond is true:
+// conjunctions of value<=bound comparisons.
+func boundedWhenTrue(cond ast.Expr) []string {
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return boundedWhenTrue(x.X)
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND {
+			return append(boundedWhenTrue(x.X), boundedWhenTrue(x.Y)...)
+		}
+		return comparisonBounds(x, true)
+	}
+	return nil
+}
+
+// boundedWhenFalse returns the paths known bounded when cond is false:
+// disjunctions of value>bound comparisons (the reject-and-return idiom).
+func boundedWhenFalse(cond ast.Expr) []string {
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return boundedWhenFalse(x.X)
+	case *ast.BinaryExpr:
+		if x.Op == token.LOR {
+			return append(boundedWhenFalse(x.X), boundedWhenFalse(x.Y)...)
+		}
+		return comparisonBounds(x, false)
+	}
+	return nil
+}
+
+// blockTerminates reports whether a block always leaves the enclosing
+// flow: final return, branch, panic, or fatal call.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return blockTerminates(x)
+	case *ast.IfStmt:
+		if x.Else == nil {
+			return false
+		}
+		return blockTerminates(x.Body) && stmtTerminates(x.Else)
+	case *ast.ExprStmt:
+		call, ok := x.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			return strings.HasPrefix(fun.Sel.Name, "Fatal") || fun.Sel.Name == "Exit" || fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+// collectSanitizers scans packages for function declarations annotated
+// `// lint:sanitizer` and returns their (unqualified) names. Both the
+// declaring package and cross-package callers match by name.
+func collectSanitizers(pkgs []*Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					if strings.Contains(c.Text, "lint:sanitizer") {
+						out[fn.Name.Name] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ExhaustCheck verifies that switches over wire-protocol enums handle
+// every declared value or carry a default. The enum types are declared by
+// annotating the type with `// lint:wireenum`; the members are the
+// constants of that type, gathered across the whole package set in Init
+// (a remote peer speaks the full protocol whether or not a handler does,
+// and a silently-dropped message type skews the study's counts).
+var ExhaustCheck = &Analyzer{
+	Name: "exhaustcheck",
+	Doc:  "switches over lint:wireenum types must cover every declared constant or carry a default",
+	Init: exhaustInit,
+	Run:  exhaustRun,
+}
+
+// wireEnums maps an annotated enum type name to the set of its declared
+// constant names; rebuilt per Run.
+var wireEnums map[string]map[string]bool
+
+func exhaustInit(pkgs []*Package) error {
+	wireEnums = make(map[string]map[string]bool)
+	// First pass: find annotated type declarations.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				declAnnotated := hasWireEnum(gd.Doc)
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declAnnotated || hasWireEnum(ts.Doc) || hasWireEnum(ts.Comment) {
+						wireEnums[ts.Name.Name] = make(map[string]bool)
+					}
+				}
+			}
+		}
+	}
+	// Second pass: collect the constants of each annotated type. Within a
+	// const block, an omitted type inherits from the previous spec (the
+	// iota idiom).
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				curType := ""
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					switch {
+					case vs.Type != nil:
+						curType = ""
+						if id, ok := vs.Type.(*ast.Ident); ok {
+							curType = id.Name
+						}
+					case len(vs.Values) == 0:
+						// Type and value both omitted: the iota idiom
+						// repeats the previous spec, type included.
+					default:
+						// Explicit untyped value: only a T(x) conversion
+						// to a tracked enum keeps membership.
+						curType = conversionType(vs.Values)
+					}
+					members, tracked := wireEnums[curType]
+					if !tracked {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name != "_" {
+							members[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hasWireEnum reports whether a comment group carries the annotation.
+func hasWireEnum(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "lint:wireenum") {
+			return true
+		}
+	}
+	return false
+}
+
+// conversionType returns T when values is a single T(x) conversion to a
+// tracked enum type, else "".
+func conversionType(values []ast.Expr) string {
+	if len(values) != 1 {
+		return ""
+	}
+	call, ok := values[0].(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, tracked := wireEnums[id.Name]; tracked {
+		return id.Name
+	}
+	return ""
+}
+
+func exhaustRun(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch identifies which enum (if any) a switch ranges over by its
+// case labels and reports missing members.
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	covered := make(map[string]bool)
+	hasDefault := false
+	var enumName string
+	var members map[string]bool
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, label := range cc.List {
+			name := lastIdentName(label)
+			if name == "" {
+				continue
+			}
+			if members == nil {
+				for en, ms := range wireEnums {
+					if ms[name] {
+						enumName, members = en, ms
+						break
+					}
+				}
+			}
+			if members != nil && members[name] {
+				covered[name] = true
+			}
+		}
+	}
+	if members == nil || hasDefault || len(covered) == len(members) {
+		return
+	}
+	var missing []string
+	for m := range members {
+		if !covered[m] {
+			missing = append(missing, m)
+		}
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over wire enum %s is not exhaustive: missing %s (add the cases or a default)",
+		enumName, strings.Join(missing, ", "))
+}
+
+// lastIdentName returns the final identifier of a case label: X for
+// `case X:` and X for `case pkg.X:`.
+func lastIdentName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return lastIdentName(x.X)
+	}
+	return ""
+}

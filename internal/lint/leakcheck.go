@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// LeakCheck flags goroutines in the long-running node and transfer layers
+// that can never exit: a month-long simulated crawl spawns a writer and a
+// reader per peer session, and one unstoppable loop per session is a
+// linear leak over the life of the study.
+//
+// A goroutine body is suspect when it contains an unconditional for-loop
+// (no condition, not a range) with no way out: no return, break, goto or
+// panic inside the loop. Loops that select on a done/quit channel satisfy
+// the rule through the return/break inside the select. Additionally, a
+// bare blocking receive (`v := <-ch` outside a select) inside such a loop
+// is flagged even if an exit exists elsewhere, because a peer that stops
+// sending parks the goroutine forever; receiving with the ok-form or
+// ranging over the channel handles closure and is accepted.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "goroutines in node/transfer layers must have an exit path: select on done/ctx or terminate on error",
+	Run:  leakRun,
+}
+
+// leakScopeRe limits the check to the layers that spawn per-peer
+// goroutines; simulation drivers and one-shot tools are exempt.
+var leakScopeRe = regexp.MustCompile(`internal/(gnutella|openft|p2p|core|netsim)(/|$)`)
+
+func leakRun(pass *Pass) error {
+	if !leakScopeRe.MatchString(pass.Path) {
+		return nil
+	}
+	// Index same-file function declarations so `go s.writeLoop()` can be
+	// resolved one level deep.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				decls[fn.Name.Name] = fn
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(g.Call, decls)
+			if body == nil {
+				return true
+			}
+			checkLeakBody(pass, g, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the statement body a go statement runs: an inline
+// FuncLit, or a same-package FuncDecl named directly or via a method
+// selector.
+func goBody(call *ast.CallExpr, decls map[string]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn := decls[fun.Name]; fn != nil {
+			return fn.Body
+		}
+	case *ast.SelectorExpr:
+		if fn := decls[fun.Sel.Name]; fn != nil {
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// checkLeakBody walks the goroutine body for infinite loops.
+func checkLeakBody(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopCanExit(loop.Body) {
+			pass.Reportf(loop.Pos(), "goroutine loop has no exit path: add a done/quit channel case, context check, or error return")
+			return false
+		}
+		// The loop can exit, but a bare single-value receive still blocks
+		// forever on a silent peer.
+		for _, s := range loop.Body.List {
+			if recv := bareReceive(s); recv != nil {
+				pass.Reportf(recv.Pos(), "bare channel receive in goroutine loop blocks forever if the sender stops; use select with a done case or the ok-form")
+			}
+		}
+		return true
+	})
+}
+
+// loopCanExit reports whether a loop body contains any statement that
+// leaves the loop: return, break, goto, panic, or a fatal call.
+func loopCanExit(body *ast.BlockStmt) bool {
+	found := false
+	depth := 0
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		if found || s == nil {
+			return
+		}
+		switch x := s.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			// A break/goto at depth 0 leaves our loop; inside a nested
+			// loop a bare break only leaves that one. Labels are assumed
+			// to target an enclosing loop.
+			switch x.Tok.String() {
+			case "break":
+				if depth == 0 || x.Label != nil {
+					found = true
+				}
+			case "goto":
+				found = true
+			}
+		case *ast.ExprStmt:
+			if stmtTerminates(x) {
+				found = true
+			}
+		case *ast.BlockStmt:
+			for _, s2 := range x.List {
+				walk(s2)
+			}
+		case *ast.IfStmt:
+			walk(x.Body)
+			walk(x.Else)
+		case *ast.ForStmt:
+			depth++
+			walk(x.Body)
+			depth--
+		case *ast.RangeStmt:
+			depth++
+			walk(x.Body)
+			depth--
+		case *ast.SwitchStmt:
+			depth++
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, s2 := range cc.Body {
+						walk(s2)
+					}
+				}
+			}
+			depth--
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s2 := range cc.Body {
+						walk(s2)
+					}
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(x.Stmt)
+		}
+	}
+	for _, s := range body.List {
+		walk(s)
+	}
+	return found
+}
+
+// bareReceive returns the receive expression if s is a single-value
+// blocking receive (`v := <-ch`, `v = <-ch`, or bare `<-ch`) with no
+// ok-form; such a receive never observes channel closure distinctly and
+// blocks forever on an idle sender.
+func bareReceive(s ast.Stmt) ast.Expr {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+			if u, ok := x.Rhs[0].(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				return u
+			}
+		}
+	case *ast.ExprStmt:
+		if u, ok := x.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			return u
+		}
+	}
+	return nil
+}

@@ -17,6 +17,20 @@
 //     indexing or slicing it.
 //   - errwrap: errors forwarded through fmt.Errorf must use %w so callers
 //     can unwrap across package boundaries.
+//   - taintcheck: intraprocedural dataflow over a
+//     {trusted, clamped, untrusted} lattice; wire-derived values may not
+//     reach allocation sizes, copy limits, filesystem paths, or format
+//     strings unless clamped against a Max* bound or laundered through a
+//     `// lint:sanitizer` function.
+//   - leakcheck: goroutines in the node/transfer layers must have an exit
+//     path (done/quit channel, context, or error return) so month-long
+//     simulated crawls cannot leak collectors.
+//   - exhaustcheck: switches over `// lint:wireenum` types must cover
+//     every declared constant or carry a default, so new message types
+//     cannot be silently dropped.
+//
+// A finding can be suppressed with `// lint:allow <analyzer> <reason>` on
+// the same line or the line above.
 //
 // The cmd/p2plint binary runs the whole suite over the repository and is
 // part of the CI merge gate.
@@ -26,6 +40,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"regexp"
 	"sort"
 )
 
@@ -35,6 +50,12 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by the driver.
 	Doc string
+	// Init, if set, is called once per Run over the full package set
+	// before any per-package pass, so an analyzer can gather
+	// cross-package facts (sanitizer names, wire-enum members). It must
+	// rebuild its state from scratch each call: tests invoke Run many
+	// times with different package sets.
+	Init func(pkgs []*Package) error
 	// Run inspects a package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -89,15 +110,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies every analyzer to every package and returns the findings
-// sorted by position.
+// sorted by position. Findings on a line carrying (or directly below) a
+// `// lint:allow <analyzer>` comment are suppressed.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if a.Init == nil {
+			continue
+		}
+		if err := a.Init(pkgs); err != nil {
+			return nil, fmt.Errorf("lint: %s init: %w", a.Name, err)
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		allows := allowLines(pkg)
+		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, diags: &diags}
+			pass := &Pass{Analyzer: a, Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, diags: &pkgDiags}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+		for _, d := range pkgDiags {
+			if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+				continue
+			}
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -118,7 +156,38 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap}
+	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap, TaintCheck, LeakCheck, ExhaustCheck}
+}
+
+// allowKey addresses one suppressed (file, line, analyzer) cell.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowRe matches suppression comments: `// lint:allow <analyzer> [reason]`.
+var allowRe = regexp.MustCompile(`lint:allow\s+([a-z]+)`)
+
+// allowLines collects the suppressions in a package. A comment suppresses
+// the named analyzer on its own line and on the line below it, covering
+// both trailing-comment and comment-above styles.
+func allowLines(pkg *Package) map[allowKey]bool {
+	out := make(map[allowKey]bool)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[allowKey{pos.Filename, pos.Line, m[1]}] = true
+				out[allowKey{pos.Filename, pos.Line + 1, m[1]}] = true
+			}
+		}
+	}
+	return out
 }
 
 // importName returns the local name under which file imports path, or ""

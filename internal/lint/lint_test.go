@@ -42,6 +42,22 @@ func TestErrWrapFixture(t *testing.T) {
 	runFixture(t, ErrWrap, "example.com/errwrapfix")
 }
 
+func TestTaintCheckFixture(t *testing.T) {
+	runFixture(t, TaintCheck, "example.com/taintfix")
+}
+
+func TestLeakCheckFixture(t *testing.T) {
+	runFixture(t, LeakCheck, "p2pmalware/internal/gnutella/leakfix")
+}
+
+func TestLeakCheckIgnoresUnrestrictedPackages(t *testing.T) {
+	runFixture(t, LeakCheck, "example.com/leakfree")
+}
+
+func TestExhaustCheckFixture(t *testing.T) {
+	runFixture(t, ExhaustCheck, "example.com/exhaustfix")
+}
+
 // TestFixtureRunnerDetectsMisses guards the harness itself: an analyzer
 // that reports nothing must fail a fixture that expects a diagnostic.
 func TestFixtureRunnerDetectsMisses(t *testing.T) {

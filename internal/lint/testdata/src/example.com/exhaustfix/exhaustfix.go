@@ -1,0 +1,76 @@
+// Package exhaustfix exercises exhaustcheck: switches over annotated wire
+// enums must cover every constant or carry a default.
+package exhaustfix
+
+// MsgKind is a wire message discriminator.
+//
+// lint:wireenum
+type MsgKind byte
+
+// Wire message kinds.
+const (
+	KindPing  MsgKind = 0x00
+	KindPong  MsgKind = 0x01
+	KindQuery MsgKind = 0x80
+)
+
+// Plain is not annotated; switches over it are unconstrained.
+type Plain int
+
+// Plain values.
+const (
+	PlainA Plain = iota
+	PlainB
+)
+
+// badMissing drops KindQuery on the floor.
+func badMissing(k MsgKind) string {
+	switch k { // want `switch over wire enum MsgKind is not exhaustive: missing KindQuery`
+	case KindPing:
+		return "ping"
+	case KindPong:
+		return "pong"
+	}
+	return ""
+}
+
+// goodComplete covers every constant.
+func goodComplete(k MsgKind) string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindPong:
+		return "pong"
+	case KindQuery:
+		return "query"
+	}
+	return ""
+}
+
+// goodDefault handles the remainder explicitly.
+func goodDefault(k MsgKind) string {
+	switch k {
+	case KindPing:
+		return "ping"
+	default:
+		return "other"
+	}
+}
+
+// goodMultiValueCase lists several kinds in one clause.
+func goodMultiValueCase(k MsgKind) bool {
+	switch k {
+	case KindPing, KindPong, KindQuery:
+		return true
+	}
+	return false
+}
+
+// goodUnannotated switches over a non-enum type freely.
+func goodUnannotated(p Plain) bool {
+	switch p {
+	case PlainA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+// Package leakfree shows leakcheck's path scoping: packages outside the
+// node/transfer layers may run unexitable loops (a main loop in a tool is
+// the process's lifetime, not a leak).
+package leakfree
+
+func spin() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

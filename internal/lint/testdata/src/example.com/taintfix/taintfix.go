@@ -1,0 +1,115 @@
+// Package taintfix exercises taintcheck: untrusted flows into sinks must
+// be flagged, clamped and sanitized flows must not.
+package taintfix
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// MaxRecordLen is the declared clamp bound for this fixture.
+const MaxRecordLen = 4096
+
+// Message mimics a wire message; its Payload field is a taint source.
+type Message struct {
+	Payload []byte
+}
+
+// badAlloc allocates straight from a decoded wire length.
+func badAlloc(m *Message) []byte {
+	n := binary.LittleEndian.Uint32(m.Payload)
+	return make([]byte, n) // want `untrusted length "n" reaches make`
+}
+
+// badAllocParam allocates from a peer-named parameter.
+func badAllocParam(peerLen int) []byte {
+	return make([]byte, peerLen) // want `untrusted length "peerLen" reaches make`
+}
+
+// badCopyN limits a copy by an unclamped wire value.
+func badCopyN(br *bufio.Reader, m *Message) ([]byte, error) {
+	n := int64(binary.LittleEndian.Uint64(m.Payload))
+	var buf bytes.Buffer
+	_, err := io.CopyN(&buf, br, n) // want `untrusted limit "n" reaches io.CopyN`
+	return buf.Bytes(), err
+}
+
+// badPath joins a wire filename into a local path.
+func badPath(m *Message) string {
+	name := string(m.Payload)
+	return filepath.Join("downloads", name) // want `unsanitized wire value "name" used as filepath.Join`
+}
+
+// badCreate opens a file named by the peer.
+func badCreate(m *Message) (*os.File, error) {
+	name := string(m.Payload)
+	return os.Create(name) // want `unsanitized wire value "name" used as os.Create path`
+}
+
+// badFormat uses a wire string as a format string.
+func badFormat(m *Message) string {
+	s := string(m.Payload)
+	return fmt.Sprintf(s) // want `unsanitized wire value "s" used as a format string`
+}
+
+// goodClampedGuard is the reject-and-return idiom: the fallthrough path is
+// clamped, so the allocation is fine.
+func goodClampedGuard(peerLen int) ([]byte, error) {
+	if peerLen > MaxRecordLen {
+		return nil, fmt.Errorf("record too long")
+	}
+	return make([]byte, peerLen), nil
+}
+
+// goodClampedBranch clamps inside the guarded arm.
+func goodClampedBranch(m *Message) []byte {
+	n := binary.LittleEndian.Uint32(m.Payload)
+	if n <= MaxRecordLen {
+		return make([]byte, n)
+	}
+	return nil
+}
+
+// goodClampedMin clamps with the min builtin.
+func goodClampedMin(peerLen int) []byte {
+	return make([]byte, min(peerLen, MaxRecordLen))
+}
+
+// goodLenBound treats data already in memory as its own bound.
+func goodLenBound(m *Message) []byte {
+	n := int(binary.LittleEndian.Uint32(m.Payload))
+	if n > len(m.Payload) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// SanitizeName is this fixture's laundering function.
+//
+// lint:sanitizer
+func SanitizeName(name string) string {
+	return name
+}
+
+// goodSanitizedPath launders the name before the path sink.
+func goodSanitizedPath(m *Message) string {
+	name := SanitizeName(string(m.Payload))
+	return filepath.Join("downloads", name)
+}
+
+// goodConstantFormat passes wire data as an argument, not the format.
+func goodConstantFormat(m *Message) string {
+	s := string(m.Payload)
+	return fmt.Sprintf("%s", s)
+}
+
+// goodSuppressed carries an explicit allow annotation.
+func goodSuppressed(peerLen int) []byte {
+	// lint:allow taintcheck fixture exercises the suppression comment
+	return make([]byte, peerLen)
+}

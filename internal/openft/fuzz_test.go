@@ -1,0 +1,45 @@
+package openft
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// FuzzReadPacket feeds the packet framer arbitrary streams: it must never
+// panic or allocate past MaxPacketPayload, and every accepted packet must
+// survive a write/read round trip.
+func FuzzReadPacket(f *testing.F) {
+	seed := func(p *Packet) []byte {
+		var buf bytes.Buffer
+		if err := WritePacket(&buf, p); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(NodeInfo{Class: ClassUser, Port: 1215, Alias: "peer", IP: net.IPv4(10, 0, 0, 2)}.Encode()))
+	f.Add(seed(SearchReq{ID: 7, Query: "setup exe"}.Encode()))
+	f.Add(seed(&Packet{Cmd: CmdStatsReq}))
+	f.Add([]byte{0xff, 0xff, 0x00, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := ReadPacket(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if len(p.Payload) > MaxPacketPayload {
+			t.Fatalf("ReadPacket returned %d-byte payload past MaxPacketPayload", len(p.Payload))
+		}
+		var buf bytes.Buffer
+		if err := WritePacket(&buf, p); err != nil {
+			t.Fatalf("rewriting accepted packet: %v", err)
+		}
+		p2, err := ReadPacket(&buf)
+		if err != nil {
+			t.Fatalf("rereading rewritten packet: %v", err)
+		}
+		if p2.Cmd != p.Cmd || !bytes.Equal(p2.Payload, p.Payload) {
+			t.Fatalf("packet round trip diverged: %v vs %v", p, p2)
+		}
+	})
+}

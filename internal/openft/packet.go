@@ -25,6 +25,8 @@ import (
 )
 
 // Command is the 16-bit packet command.
+//
+// lint:wireenum
 type Command uint16
 
 // OpenFT commands (subset used by the reproduction, numbered after giFT's

@@ -2,6 +2,7 @@ package openft
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,28 @@ import (
 // ErrNotFound is returned when the remote does not share the requested
 // hash.
 var ErrNotFound = errors.New("openft: file not found")
+
+// MaxTransferSize caps a single HTTP transfer body; a hostile child
+// advertising an absurd Content-Length must not drive a one-shot
+// allocation.
+const MaxTransferSize = 64 << 20
+
+// readBody reads a response body whose length the peer advertised,
+// clamped against MaxTransferSize and streamed via io.CopyN; peerLen < 0
+// (no Content-Length header) reads to EOF under the same cap.
+func readBody(br *bufio.Reader, peerLen int64) ([]byte, error) {
+	if peerLen > MaxTransferSize {
+		return nil, fmt.Errorf("openft: content length %d exceeds transfer cap %d", peerLen, int64(MaxTransferSize))
+	}
+	if peerLen < 0 {
+		return io.ReadAll(io.LimitReader(br, MaxTransferSize))
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, peerLen); err != nil {
+		return nil, fmt.Errorf("openft: download body: %w", err)
+	}
+	return buf.Bytes(), nil
+}
 
 func (n *Node) serveHTTP(c net.Conn, br *bufio.Reader) {
 	defer c.Close()
@@ -109,14 +132,7 @@ func Download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("openft: download status %d", code)
 	}
-	if contentLength < 0 {
-		return io.ReadAll(br)
-	}
-	body := make([]byte, contentLength)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return nil, fmt.Errorf("openft: download body: %w", err)
-	}
-	return body, nil
+	return readBody(br, contentLength)
 }
 
 // ShareMD5 exposes the cached MD5 of a library file (hashing it if

@@ -95,6 +95,10 @@ func (l *Library) Add(f *SharedFile) (uint32, error) {
 	if f.Name == "" {
 		return 0, fmt.Errorf("p2p: library add with empty name")
 	}
+	// Names can originate from hostile query text (query-echo malware
+	// advertises under whatever terms it just heard), so the library never
+	// indexes a raw name.
+	f.Name = SanitizeFilename(f.Name)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextIndex++

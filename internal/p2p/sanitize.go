@@ -1,0 +1,43 @@
+package p2p
+
+import "strings"
+
+// MaxFilenameLen caps an advertised filename. Longer names are truncated
+// rather than rejected: the study still wants to count the response, and
+// real servents displayed whatever fit.
+const MaxFilenameLen = 255
+
+// SanitizeFilename normalizes a peer-advertised filename into a value
+// safe to record, index, and embed in local paths. Query hits and OpenFT
+// share lists carry whatever bytes the remote chose — including path
+// separators, parent-directory prefixes, NULs, and control characters —
+// so every filename crossing from the wire into the Library, a collector
+// record, or the filesystem goes through here first. Path separators
+// become underscores (the advertised basename is all the study cares
+// about), control bytes are dropped, leading dots are stripped so a name
+// can neither hide nor traverse, over-length names are truncated, and a
+// name with nothing left becomes "unnamed".
+//
+// lint:sanitizer
+func SanitizeFilename(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r == 0 || r < 0x20 || r == 0x7f:
+			// Control bytes and NULs vanish.
+		case r == '/' || r == '\\':
+			b.WriteByte('_')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	out := strings.TrimLeft(b.String(), ".")
+	if len(out) > MaxFilenameLen {
+		out = out[:MaxFilenameLen]
+	}
+	if out == "" {
+		return "unnamed"
+	}
+	return out
+}
