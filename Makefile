@@ -1,6 +1,6 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same gates.
 
-.PHONY: build test race lint fuzz-smoke ci
+.PHONY: build test race lint fuzz-smoke bench ci
 
 build:
 	go build ./...
@@ -23,5 +23,12 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParsePong -fuzztime=10s ./internal/gnutella
 	go test -run='^$$' -fuzz=FuzzReadPacket -fuzztime=10s ./internal/openft
 	go test -run='^$$' -fuzz=FuzzPEParse -fuzztime=10s ./internal/pe
+
+# Benchmarks: the obs/archive hot paths run 6 times each so the output
+# feeds benchstat; the table/figure pipeline benchmarks are heavyweight
+# (each iteration runs a scaled-down study) and run once. Non-gating in CI.
+bench:
+	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive
+	go test -run='^$$' -bench=. -benchmem -count=1 .
 
 ci: build lint race fuzz-smoke

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"p2pmalware/internal/gnutella"
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/p2p"
 )
 
@@ -36,8 +37,20 @@ func main() {
 		query     = flag.String("query", "", "issue this query after joining")
 		queryWait = flag.Duration("query-wait", 3*time.Second, "how long to collect hits")
 		oneshot   = flag.Bool("oneshot", false, "exit after the query completes")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /varz on this address")
+		debug       = flag.Bool("debug", false, "log protocol-level debug detail")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.StartServer(*metricsAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics", srv.Addr())
+	}
 
 	lib := p2p.NewLibrary()
 	if *share != "" {
@@ -61,10 +74,15 @@ func main() {
 	if *ultrapeer {
 		role = gnutella.Ultrapeer
 	}
+	var logger *obs.Logger
+	if *debug {
+		logger = obs.NewLogger(obs.LevelDebug, log.Printf)
+	}
 	node := gnutella.NewNode(gnutella.Config{
 		Role: role, Transport: p2p.TCP{},
 		ListenAddr: *listen, AdvertiseIP: ip,
 		UserAgent: "gnutellad/1.0", Library: lib,
+		Log: logger,
 		OnQueryHit: func(qh *gnutella.QueryHit, m *gnutella.Message) {
 			for _, h := range qh.Hits {
 				fmt.Printf("hit: %q size=%d from %s:%d (%s)\n",

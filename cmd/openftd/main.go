@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/openft"
 	"p2pmalware/internal/p2p"
 )
@@ -34,8 +35,20 @@ func main() {
 		search     = flag.String("search", "", "issue this search after joining")
 		searchWait = flag.Duration("search-wait", 3*time.Second, "how long to collect results")
 		oneshot    = flag.Bool("oneshot", false, "exit after the search completes")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /varz on this address")
+		debug       = flag.Bool("debug", false, "log protocol-level debug detail")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.StartServer(*metricsAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics", srv.Addr())
+	}
 
 	var cls openft.Class
 	switch *class {
@@ -67,10 +80,15 @@ func main() {
 		ip = net.IPv4(127, 0, 0, 1)
 	}
 
+	var logger *obs.Logger
+	if *debug {
+		logger = obs.NewLogger(obs.LevelDebug, log.Printf)
+	}
 	node := openft.NewNode(openft.Config{
 		Class: cls, Transport: p2p.TCP{},
 		ListenAddr: *listen, AdvertiseIP: ip,
 		Alias: "openftd", Library: lib,
+		Log: logger,
 		OnSearchResult: func(r openft.SearchResp) {
 			fmt.Printf("result: %q size=%d md5=%s from %s:%d\n",
 				r.Path, r.Size, r.MD5, r.IP, r.Port)

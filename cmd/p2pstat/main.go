@@ -1,0 +1,224 @@
+// Command p2pstat summarizes an event trace written by p2pstudy -events:
+// per-network activity rates per virtual day, download verdict breakdown,
+// download size percentiles, and — when the trace carries wall_us
+// attributes — wall-clock download latency percentiles.
+//
+// Usage:
+//
+//	p2pstudy -days 7 -events events.jsonl -out trace.jsonl
+//	p2pstat events.jsonl
+//	p2pstat -  # read from stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+)
+
+// event is the subset of trace-event fields p2pstat consumes. Unknown
+// attributes are ignored, so the tool keeps working as traces grow fields.
+type event struct {
+	T       time.Time `json:"t"`
+	Scope   string    `json:"scope"`
+	Event   string    `json:"event"`
+	Count   int64     `json:"count"`
+	Size    int64     `json:"size"`
+	Verdict string    `json:"verdict"`
+	WallUS  int64     `json:"wall_us"`
+}
+
+// dayStats accumulates one network's activity for one virtual day.
+type dayStats struct {
+	queries   int64
+	responses int64
+	downloads int64
+	malware   int64
+}
+
+// scopeStats accumulates one network's whole-trace aggregates.
+type scopeStats struct {
+	days      map[int]*dayStats
+	sizes     []int64
+	wallUS    []int64
+	verdicts  map[string]int64
+	queries   int64
+	responses int64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2pstat: ")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: p2pstat <events.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	events, err := readEvents(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatal("no events in input")
+	}
+	report(os.Stdout, events)
+}
+
+func readEvents(r io.Reader) ([]event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading events: %w", err)
+	}
+	return out, nil
+}
+
+func report(w io.Writer, events []event) {
+	t0 := events[0].T
+	for _, e := range events {
+		if e.T.Before(t0) {
+			t0 = e.T
+		}
+	}
+	scopes := make(map[string]*scopeStats)
+	for _, e := range events {
+		ss := scopes[e.Scope]
+		if ss == nil {
+			ss = &scopeStats{days: make(map[int]*dayStats), verdicts: make(map[string]int64)}
+			scopes[e.Scope] = ss
+		}
+		switch e.Event {
+		case "query", "responses", "download":
+		default:
+			continue // progress/churn markers carry no per-day activity
+		}
+		day := int(e.T.Sub(t0) / (24 * time.Hour))
+		ds := ss.days[day]
+		if ds == nil {
+			ds = &dayStats{}
+			ss.days[day] = ds
+		}
+		switch e.Event {
+		case "query":
+			ds.queries++
+			ss.queries++
+		case "responses":
+			ds.responses += e.Count
+			ss.responses += e.Count
+		case "download":
+			ds.downloads++
+			ss.verdicts[e.Verdict]++
+			if e.Verdict != "clean" && e.Verdict != "error" {
+				ds.malware++
+			}
+			if e.Verdict != "error" {
+				ss.sizes = append(ss.sizes, e.Size)
+			}
+			if e.WallUS > 0 {
+				ss.wallUS = append(ss.wallUS, e.WallUS)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(scopes))
+	for name := range scopes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%d events from %s\n", len(events), t0.Format(time.RFC3339))
+	for _, name := range names {
+		ss := scopes[name]
+		fmt.Fprintf(w, "\n== %s ==\n", name)
+		fmt.Fprintf(w, "%-6s %9s %10s %10s %8s\n", "day", "queries", "responses", "downloads", "malware")
+		days := make([]int, 0, len(ss.days))
+		for d := range ss.days {
+			days = append(days, d)
+		}
+		sort.Ints(days)
+		for _, d := range days {
+			ds := ss.days[d]
+			fmt.Fprintf(w, "%-6d %9d %10d %10d %8d\n", d, ds.queries, ds.responses, ds.downloads, ds.malware)
+		}
+		fmt.Fprintf(w, "totals: %d queries, %d responses", ss.queries, ss.responses)
+		if ss.queries > 0 {
+			fmt.Fprintf(w, " (%.1f responses/query)", float64(ss.responses)/float64(ss.queries))
+		}
+		fmt.Fprintln(w)
+		if len(ss.verdicts) > 0 {
+			verdicts := make([]string, 0, len(ss.verdicts))
+			for v := range ss.verdicts {
+				verdicts = append(verdicts, v)
+			}
+			sort.Strings(verdicts)
+			fmt.Fprintf(w, "download verdicts:")
+			for _, v := range verdicts {
+				fmt.Fprintf(w, " %s=%d", v, ss.verdicts[v])
+			}
+			fmt.Fprintln(w)
+		}
+		if len(ss.sizes) > 0 {
+			p50, p90, p99 := percentiles(ss.sizes)
+			fmt.Fprintf(w, "download size bytes: p50=%d p90=%d p99=%d\n", p50, p90, p99)
+		}
+		if len(ss.wallUS) > 0 {
+			p50, p90, p99 := percentiles(ss.wallUS)
+			fmt.Fprintf(w, "download wall latency: p50=%s p90=%s p99=%s\n",
+				time.Duration(p50)*time.Microsecond,
+				time.Duration(p90)*time.Microsecond,
+				time.Duration(p99)*time.Microsecond)
+		}
+	}
+}
+
+// percentiles returns the p50/p90/p99 of vs (nearest-rank, vs is sorted in
+// place).
+func percentiles(vs []int64) (p50, p90, p99 int64) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	rank := func(q float64) int64 {
+		i := int(q*float64(len(vs))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(vs) {
+			i = len(vs) - 1
+		}
+		return vs[i]
+	}
+	return rank(0.50), rank(0.90), rank(0.99)
+}

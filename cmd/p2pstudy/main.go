@@ -17,6 +17,7 @@ import (
 
 	"p2pmalware/internal/core"
 	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/obs"
 )
 
 func main() {
@@ -34,12 +35,27 @@ func main() {
 		churn   = flag.Float64("churn", 0, "fraction of honest LimeWire leaves replaced per virtual day")
 		fake    = flag.Float64("fake-files", 0, "fraction of honest downloadable shares that are decoys (size lies)")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+
+		progress    = flag.Duration("progress", 24*time.Hour, "virtual interval between progress reports (0 disables)")
+		events      = flag.String("events", "", "optional event-trace output path (JSONL, virtual timestamps)")
+		wallLatency = flag.Bool("events-wall-latency", false, "add wall_us download latency to trace events (breaks trace determinism)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /varz on this address during the run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.StartServer(*metricsAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics", srv.Addr())
+	}
 
 	cfg := core.StudyConfig{
 		Seed: *seed, Days: *days, QueriesPerDay: *perDay,
 		Quiesce: *quiesce, ChurnPerDay: *churn,
+		ProgressEvery: *progress, TraceWallLatency: *wallLatency,
 	}
 	switch *network {
 	case "both":
@@ -84,6 +100,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d records)\n", *out, len(trace.Records))
+
+	if *events != "" {
+		ef, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := study.WriteEvents(ef); err != nil {
+			log.Fatal(err)
+		}
+		if err := ef.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *events, len(study.Events()))
+	}
 
 	if *csvOut != "" {
 		cf, err := os.Create(*csvOut)

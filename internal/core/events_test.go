@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"p2pmalware/internal/netsim"
+)
+
+// eventStudy runs a small two-network study and returns the study after
+// Run. The quiesce window is deliberately wide: response *collection*
+// waits on wall time, so a window that a loaded machine can outrun would
+// let a straggler response into one run and not the other.
+func eventStudy(t *testing.T, seed uint64) *Study {
+	t.Helper()
+	st, err := NewStudy(StudyConfig{
+		Seed: seed, Days: 1, QueriesPerDay: 5,
+		Quiesce: 250 * time.Millisecond, MaxWait: 4 * time.Second,
+		ProgressEvery: 6 * time.Hour,
+		LimeWire:      &netsim.LimeWireConfig{Seed: seed, HonestLeaves: 14, EchoHosts: 6},
+		OpenFT:        &netsim.OpenFTConfig{Seed: seed, HonestUsers: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSameSeedStudiesEmitIdenticalEventTraces(t *testing.T) {
+	// Deliberately not parallel: the byte-identical guarantee holds when
+	// every response lands inside the collection window, so the test
+	// avoids competing with the rest of the package for CPU.
+	//
+	// The point of stamping events with the virtual trace clock and
+	// merging per-network streams by (time, scope, seq): two runs of the
+	// same configuration must serialize to the same bytes, even though the
+	// two networks execute concurrently on nondeterministic goroutine
+	// schedules. What is under test is that virtual-time pipeline; the
+	// wall-clock *collection* window can still be outrun by a starved
+	// scheduler (the population-stats test bounds that tolerance at 2%),
+	// so a bounded retry absorbs machines where a responder goroutine
+	// stalls past the quiesce window.
+	const attempts = 3
+	var diff string
+	for attempt := 0; attempt < attempts; attempt++ {
+		a := eventStudy(t, 57)
+		b := eventStudy(t, 57)
+
+		var bufA, bufB bytes.Buffer
+		if err := a.WriteEvents(&bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteEvents(&bufB); err != nil {
+			t.Fatal(err)
+		}
+		if bufA.Len() == 0 {
+			t.Fatal("no events emitted")
+		}
+		if bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			return
+		}
+		diff = firstDiffContext(bufA.String(), bufB.String())
+		t.Logf("attempt %d: same-seed traces differ (likely scheduler starvation):\n%s", attempt+1, diff)
+	}
+	t.Fatalf("same-seed event traces differed on all %d attempts; last diff:\n%s", attempts, diff)
+}
+
+// firstDiffContext returns the first differing lines of two JSONL blobs,
+// for a readable failure message.
+func firstDiffContext(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return "line " + strconv.Itoa(i) + ":\nA: " + la[i] + "\nB: " + lb[i]
+		}
+	}
+	return "traces differ in length only"
+}
+
+func TestEventTraceShape(t *testing.T) {
+	t.Parallel()
+	st := eventStudy(t, 91)
+	events := st.Events()
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	counts := make(map[string]map[string]int) // scope -> event name -> count
+	for i, e := range events {
+		if counts[e.Scope] == nil {
+			counts[e.Scope] = make(map[string]int)
+		}
+		counts[e.Scope][e.Name]++
+		if i > 0 && events[i].Time.Before(events[i-1].Time) {
+			t.Fatalf("events out of chronological order at %d: %v after %v", i, events[i].Time, events[i-1].Time)
+		}
+	}
+	for _, scope := range []string{"limewire", "openft"} {
+		c := counts[scope]
+		if c == nil {
+			t.Fatalf("no events for scope %s", scope)
+		}
+		if c["query"] != 5 {
+			t.Fatalf("%s: %d query events, want 5", scope, c["query"])
+		}
+		if c["responses"] != 5 {
+			t.Fatalf("%s: %d responses events, want 5", scope, c["responses"])
+		}
+		if c["progress"] != 4 {
+			t.Fatalf("%s: %d progress events, want 4 (every 6h over 1 day)", scope, c["progress"])
+		}
+		if c["download"] == 0 {
+			t.Fatalf("%s: no download events; echo hosts should have produced downloadable hits", scope)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"p2pmalware/internal/gnutella"
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
@@ -114,6 +117,9 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	// order, so a month of trace time elapses in however long the
 	// in-memory network takes to answer.
 	clock := simclock.NewVirtual(s.cfg.Epoch)
+	trace := obs.NewTracer(clock, "limewire")
+	s.addTracer(trace)
+	var tl tally
 	var firstErr error
 	if s.cfg.ChurnPerDay > 0 {
 		for d := 1; d < s.cfg.Days; d++ {
@@ -127,6 +133,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 					firstErr = fmt.Errorf("core: churn on day %d: %w", day, err)
 					return
 				}
+				trace.Emit("churn", obs.Int("day", int64(day)), obs.Int("replaced", int64(replaced)))
 				s.progress("limewire: day %d churned %d honest leaves", day, replaced)
 			})
 		}
@@ -138,6 +145,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 				return
 			}
 			term := gen.Next()
+			trace.Emit("query", obs.Int("n", int64(i)), obs.String("q", term.Text), obs.String("category", string(term.Category)))
 			colMu.Lock()
 			active = &lwCollector{clock: simclock.Real{}}
 			col := active
@@ -147,7 +155,13 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 				return
 			}
 			hits := col.drain(s.cfg.Quiesce, s.cfg.MaxWait)
+			sortLWHits(hits)
 			tr.QueriesSent[dataset.LimeWire]++
+			tl.queries++
+			tl.responses += len(hits)
+			lwMet.queries.Inc()
+			lwMet.responses.Add(int64(len(hits)))
+			trace.Emit("responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(hits))))
 			for _, h := range hits {
 				rec := dataset.ResponseRecord{
 					Time:          now,
@@ -166,7 +180,30 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 					Downloadable:  archive.IsDownloadable(p2p.SanitizeFilename(h.hit.Name)),
 				}
 				if rec.Downloadable {
+					var wallStart time.Time
+					if s.cfg.TraceWallLatency {
+						wallStart = wallClock.Now()
+					}
 					s.downloadLimeWire(client, net_, &rec, h, cache)
+					attrs := []obs.Attr{
+						obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
+						obs.String("file", rec.Filename),
+						obs.Int("size", rec.BodySize),
+						obs.String("verdict", downloadVerdict(&rec)),
+					}
+					if s.cfg.TraceWallLatency {
+						attrs = append(attrs, obs.Int("wall_us", int64(simclock.Since(wallClock, wallStart)/time.Microsecond)))
+					}
+					trace.Emit("download", attrs...)
+					if rec.DownloadError != "" {
+						lwMet.downloadsErr.Inc()
+					} else {
+						lwMet.downloadsOK.Inc()
+					}
+					if rec.Malware != "" {
+						tl.malware++
+						lwMet.malware.Inc()
+					}
 				}
 				tr.Add(rec)
 			}
@@ -175,8 +212,30 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 			}
 		})
 	}
+	s.scheduleProgress(clock, trace, "limewire", &tl)
 	clock.Run(0)
 	return firstErr
+}
+
+// sortLWHits orders drained hits by stable response identity so record and
+// event order is independent of responder goroutine scheduling.
+func sortLWHits(hits []lwHit) {
+	sort.Slice(hits, func(a, b int) bool {
+		ha, hb := hits[a], hits[b]
+		if c := bytes.Compare(ha.qh.IP, hb.qh.IP); c != 0 {
+			return c < 0
+		}
+		if ha.qh.Port != hb.qh.Port {
+			return ha.qh.Port < hb.qh.Port
+		}
+		if ha.hit.Index != hb.hit.Index {
+			return ha.hit.Index < hb.hit.Index
+		}
+		if ha.hit.Name != hb.hit.Name {
+			return ha.hit.Name < hb.hit.Name
+		}
+		return ha.hit.Size < hb.hit.Size
+	})
 }
 
 // downloadLimeWire fetches a downloadable hit (directly, or via push for

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"p2pmalware/internal/obs"
+	"p2pmalware/internal/simclock"
+)
+
+// wallClock is the sanctioned wall-time source for the measurement layer
+// (clockcheck bans direct time.Now calls here). It only feeds latency
+// metrics and the optional wall_us event attribute — never virtual-time
+// event timestamps.
+var wallClock simclock.Clock = simclock.Real{}
+
+// lwMet and ftMet hold the study-level metric handles for the two
+// instrumented clients.
+var (
+	lwMet = newNetMetrics("limewire")
+	ftMet = newNetMetrics("openft")
+)
+
+type netMetrics struct {
+	queries      *obs.Counter
+	responses    *obs.Counter
+	downloadsOK  *obs.Counter
+	downloadsErr *obs.Counter
+	malware      *obs.Counter
+}
+
+func newNetMetrics(network string) *netMetrics {
+	return &netMetrics{
+		queries:      obs.C("p2p_study_queries_total", "network", network),
+		responses:    obs.C("p2p_study_responses_total", "network", network),
+		downloadsOK:  obs.C("p2p_study_downloads_total", "network", network, "result", "ok"),
+		downloadsErr: obs.C("p2p_study_downloads_total", "network", network, "result", "error"),
+		malware:      obs.C("p2p_study_malware_total", "network", network),
+	}
+}
+
+// tally tracks one network's running totals for progress reporting. It is
+// only touched from that network's virtual-clock callbacks, which fire
+// sequentially in one goroutine.
+type tally struct {
+	queries   int
+	responses int
+	malware   int
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"p2pmalware/internal/dataset"
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/openft"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/simclock"
@@ -103,6 +106,9 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	total := s.totalQueries()
 	interval := 24 * time.Hour / time.Duration(s.cfg.QueriesPerDay)
 	clock := simclock.NewVirtual(s.cfg.Epoch)
+	trace := obs.NewTracer(clock, "openft")
+	s.addTracer(trace)
+	var tl tally
 	var firstErr error
 	for i := 0; i < total; i++ {
 		i := i
@@ -111,6 +117,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 				return
 			}
 			term := gen.Next()
+			trace.Emit("query", obs.Int("n", int64(i)), obs.String("q", term.Text), obs.String("category", string(term.Category)))
 			colMu.Lock()
 			active = &ftCollector{clock: simclock.Real{}}
 			col := active
@@ -124,7 +131,13 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 			col.id = id
 			col.mu.Unlock()
 			results := col.drain(s.cfg.Quiesce, s.cfg.MaxWait)
+			sortFTResults(results)
 			tr.QueriesSent[dataset.OpenFT]++
+			tl.queries++
+			tl.responses += len(results)
+			ftMet.queries.Inc()
+			ftMet.responses.Add(int64(len(results)))
+			trace.Emit("responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(results))))
 			for _, r := range results {
 				rec := dataset.ResponseRecord{
 					Time:          now,
@@ -140,7 +153,30 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 					Downloadable:  archive.IsDownloadable(p2p.SanitizeFilename(r.Path)),
 				}
 				if rec.Downloadable {
+					var wallStart time.Time
+					if s.cfg.TraceWallLatency {
+						wallStart = wallClock.Now()
+					}
 					s.downloadOpenFT(net_, &rec, r, cache)
+					attrs := []obs.Attr{
+						obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
+						obs.String("file", rec.Filename),
+						obs.Int("size", rec.BodySize),
+						obs.String("verdict", downloadVerdict(&rec)),
+					}
+					if s.cfg.TraceWallLatency {
+						attrs = append(attrs, obs.Int("wall_us", int64(simclock.Since(wallClock, wallStart)/time.Microsecond)))
+					}
+					trace.Emit("download", attrs...)
+					if rec.DownloadError != "" {
+						ftMet.downloadsErr.Inc()
+					} else {
+						ftMet.downloadsOK.Inc()
+					}
+					if rec.Malware != "" {
+						tl.malware++
+						ftMet.malware.Inc()
+					}
 				}
 				tr.Add(rec)
 			}
@@ -149,8 +185,28 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 			}
 		})
 	}
+	s.scheduleProgress(clock, trace, "openft", &tl)
 	clock.Run(0)
 	return firstErr
+}
+
+// sortFTResults orders drained search results by stable response identity
+// so record and event order is independent of responder goroutine
+// scheduling.
+func sortFTResults(results []openft.SearchResp) {
+	sort.Slice(results, func(a, b int) bool {
+		ra, rb := results[a], results[b]
+		if c := bytes.Compare(ra.IP, rb.IP); c != 0 {
+			return c < 0
+		}
+		if ra.Port != rb.Port {
+			return ra.Port < rb.Port
+		}
+		if ra.MD5 != rb.MD5 {
+			return ra.MD5 < rb.MD5
+		}
+		return ra.Path < rb.Path
+	})
 }
 
 // downloadOpenFT fetches a result by MD5 from the sharing user and scans

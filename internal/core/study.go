@@ -8,12 +8,14 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"p2pmalware/internal/dataset"
 	"p2pmalware/internal/malware"
 	"p2pmalware/internal/netsim"
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
 	"p2pmalware/internal/stats"
@@ -41,6 +43,15 @@ type StudyConfig struct {
 	// each virtual day boundary (0 = static population). Malware hosts
 	// persist, matching the paper's stable malicious sources.
 	ChurnPerDay float64
+	// ProgressEvery, when positive, emits a progress line (and trace
+	// event) per network at that virtual interval: virtual day, queries,
+	// responses, and malware hits so far.
+	ProgressEvery time.Duration
+	// TraceWallLatency adds a wall_us attribute (real download duration in
+	// microseconds) to download trace events. Off by default: wall time is
+	// nondeterministic, and enabling it breaks byte-identical traces
+	// across same-seed runs.
+	TraceWallLatency bool
 	// LimeWire configures the Gnutella universe; nil skips the network.
 	LimeWire *netsim.LimeWireConfig
 	// OpenFT configures the OpenFT universe; nil skips the network.
@@ -77,6 +88,9 @@ type Study struct {
 	trace  *dataset.Trace
 	// Progress, when set, receives coarse progress lines.
 	Progress func(format string, args ...any)
+
+	mu      sync.Mutex
+	tracers []*obs.Tracer // guarded by mu
 }
 
 // NewStudy validates the configuration and prepares the scanner ground
@@ -152,12 +166,74 @@ func (s *Study) Run() (*dataset.Trace, error) {
 // Trace returns the (possibly partial) trace.
 func (s *Study) Trace() *dataset.Trace { return s.trace }
 
+// addTracer registers a per-network tracer for later merging.
+func (s *Study) addTracer(t *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracers = append(s.tracers, t)
+}
+
+// Events returns the merged virtual-time event stream from every network
+// measured so far, ordered deterministically by (time, scope, seq). Two
+// same-seed runs of the same configuration produce identical streams.
+func (s *Study) Events() []obs.Event {
+	s.mu.Lock()
+	tracers := append([]*obs.Tracer(nil), s.tracers...)
+	s.mu.Unlock()
+	streams := make([][]obs.Event, len(tracers))
+	for i, t := range tracers {
+		streams[i] = t.Events()
+	}
+	return obs.MergeEvents(streams...)
+}
+
+// WriteEvents writes the merged event stream as JSONL.
+func (s *Study) WriteEvents(w io.Writer) error {
+	return obs.WriteEventsJSONL(w, s.Events())
+}
+
 // Engine returns the ground-truth scanner.
 func (s *Study) Engine() *scanner.Engine { return s.engine }
 
 func (s *Study) progress(format string, args ...any) {
 	if s.Progress != nil {
 		s.Progress(format, args...)
+	}
+}
+
+// scheduleProgress emits periodic progress lines and trace events on the
+// network's virtual clock. Call it after the query events are scheduled so
+// that at a shared timestamp the queries fire first and are counted.
+func (s *Study) scheduleProgress(clock *simclock.Virtual, trace *obs.Tracer, network string, tl *tally) {
+	if s.cfg.ProgressEvery <= 0 {
+		return
+	}
+	span := time.Duration(s.cfg.Days) * 24 * time.Hour
+	for at := s.cfg.ProgressEvery; at <= span; at += s.cfg.ProgressEvery {
+		at := at
+		clock.Schedule(at, func(now time.Time) {
+			day := float64(at) / float64(24*time.Hour)
+			trace.Emit("progress",
+				obs.Float("day", day),
+				obs.Int("queries", int64(tl.queries)),
+				obs.Int("responses", int64(tl.responses)),
+				obs.Int("malware", int64(tl.malware)))
+			s.progress("%s: day %.1f: %d queries, %d responses, %d malware hits",
+				network, day, tl.queries, tl.responses, tl.malware)
+		})
+	}
+}
+
+// downloadVerdict condenses a labelled record into the trace-event verdict:
+// the malware family, "clean", or "error".
+func downloadVerdict(rec *dataset.ResponseRecord) string {
+	switch {
+	case rec.DownloadError != "":
+		return "error"
+	case rec.Malware != "":
+		return rec.Malware
+	default:
+		return "clean"
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p2pmalware/internal/guid"
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/simclock"
 )
@@ -76,8 +77,8 @@ type Config struct {
 	Clock simclock.Clock
 	// HitLimit caps results per query hit descriptor (default 64).
 	HitLimit int
-	// Logf, when set, receives debug logging.
-	Logf func(format string, args ...any)
+	// Log, when set, receives leveled debug logging (see internal/obs).
+	Log *obs.Logger
 }
 
 // Node is one Gnutella servent.
@@ -143,6 +144,7 @@ func (pc *peerConn) send(m *Message) error {
 	case pc.out <- m:
 		return nil
 	default:
+		met.drop[byte(m.Type)].Inc()
 		return errors.New("gnutella: send queue full, descriptor dropped")
 	}
 }
@@ -158,6 +160,7 @@ func (pc *peerConn) writeLoop() {
 				pc.shutdown()
 				return
 			}
+			met.tx[byte(m.Type)].Inc()
 		}
 	}
 }
@@ -299,9 +302,11 @@ func (n *Node) acceptOverlay(sc *sniffConn) {
 		return n.cfg.Role == Ultrapeer && leaves < n.cfg.MaxLeaves
 	})
 	if err != nil {
+		met.handshakeAcceptErr.Inc()
 		sc.Close()
 		return
 	}
+	met.handshakeAcceptOK.Inc()
 	pc := newPeerConn(n, NewConnFrom(sc.Conn, sc.br), info, !info.Ultrapeer)
 	if !n.addPeer(pc) {
 		sc.Close()
@@ -337,9 +342,11 @@ func (n *Node) Connect(addr string) error {
 	br := bufio.NewReaderSize(c, 32<<10)
 	info, err := ClientHandshake(c, br, n.handshakeOptions())
 	if err != nil {
+		met.handshakeDialErr.Inc()
 		c.Close()
 		return err
 	}
+	met.handshakeDialOK.Inc()
 	pc := newPeerConn(n, NewConnFrom(c, br), info, false)
 	if !n.addPeer(pc) {
 		c.Close()
@@ -383,11 +390,23 @@ func (n *Node) addPeer(pc *peerConn) bool {
 		return false
 	}
 	n.peers[pc] = true
+	if pc.isLeaf {
+		met.leafGauge.Inc()
+	} else {
+		met.peerGauge.Inc()
+	}
 	return true
 }
 
 func (n *Node) removePeer(pc *peerConn) {
 	n.mu.Lock()
+	if _, ok := n.peers[pc]; ok {
+		if pc.isLeaf {
+			met.leafGauge.Dec()
+		} else {
+			met.peerGauge.Dec()
+		}
+	}
 	delete(n.peers, pc)
 	n.mu.Unlock()
 	n.routes.dropPeer(pc)
@@ -420,6 +439,7 @@ func (n *Node) runPeer(pc *peerConn) {
 		if err != nil {
 			return
 		}
+		met.rx[byte(m.Type)].Inc()
 		if err := n.handle(pc, m); err != nil {
 			n.logf("handle %s from %s: %v", m.Type, pc.fc.RemoteAddr(), err)
 			return
@@ -428,9 +448,7 @@ func (n *Node) runPeer(pc *peerConn) {
 }
 
 func (n *Node) logf(format string, args ...any) {
-	if n.cfg.Logf != nil {
-		n.cfg.Logf(format, args...)
-	}
+	n.cfg.Log.Debugf(format, args...)
 }
 
 func (n *Node) handle(pc *peerConn, m *Message) error {

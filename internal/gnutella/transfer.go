@@ -45,15 +45,21 @@ const MaxTransferSize = 64 << 20
 // EOF under the same cap.
 func readBody(br *bufio.Reader, peerLen int64) ([]byte, error) {
 	if peerLen > MaxTransferSize {
+		met.clamped.Inc()
 		return nil, fmt.Errorf("gnutella: content length %d exceeds transfer cap %d", peerLen, int64(MaxTransferSize))
 	}
 	if peerLen < 0 {
-		return io.ReadAll(io.LimitReader(br, MaxTransferSize))
+		b, err := io.ReadAll(io.LimitReader(br, MaxTransferSize))
+		if err == nil {
+			met.bytesIn.Add(int64(len(b)))
+		}
+		return b, err
 	}
 	var buf bytes.Buffer
 	if _, err := io.CopyN(&buf, br, peerLen); err != nil {
 		return nil, fmt.Errorf("gnutella: download body: %w", err)
 	}
+	met.bytesIn.Add(peerLen)
 	return buf.Bytes(), nil
 }
 
@@ -122,6 +128,7 @@ func (n *Node) serveRequest(c net.Conn, br *bufio.Reader, refuse bool) {
 			n.cfg.UserAgent, lo, hi, len(data), hi-lo+1)
 		if fields[0] == "GET" {
 			c.Write(data[lo : hi+1])
+			met.bytesOut.Add(hi - lo + 1)
 		}
 		return
 	}
@@ -129,6 +136,7 @@ func (n *Node) serveRequest(c net.Conn, br *bufio.Reader, refuse bool) {
 		n.cfg.UserAgent, len(data))
 	if fields[0] == "GET" {
 		c.Write(data)
+		met.bytesOut.Add(int64(len(data)))
 	}
 }
 
@@ -216,8 +224,18 @@ func Download(tr p2p.Transport, addr string, index uint32, name string) ([]byte,
 }
 
 // httpGet issues the GET for a file on an established connection and reads
-// the response body.
+// the response body. Durations are wall time (they bound real socket
+// activity) and feed the transfer-latency histogram, never trace events.
 func httpGet(c net.Conn, br *bufio.Reader, index uint32, name string) ([]byte, error) {
+	start := ioClock.Now()
+	body, err := httpGetBody(c, br, index, name)
+	if err == nil {
+		met.transferDur.ObserveDuration(simclock.Since(ioClock, start))
+	}
+	return body, err
+}
+
+func httpGetBody(c net.Conn, br *bufio.Reader, index uint32, name string) ([]byte, error) {
 	path := fmt.Sprintf("/get/%d/%s", index, url.PathEscape(name))
 	if _, err := fmt.Fprintf(c, "GET %s HTTP/1.1\r\nUser-Agent: SimShare/1.0\r\nConnection: close\r\n\r\n", path); err != nil {
 		return nil, fmt.Errorf("gnutella: download write: %w", err)

@@ -7,9 +7,9 @@ import (
 
 // clockRestricted matches the packages whose behaviour must be driven by
 // the simulated clock: the protocol node layers, the network builder, the
-// study driver and the workload generator. A raw wall-clock read in any of
-// them makes a 30-day trace non-reproducible.
-var clockRestricted = regexp.MustCompile(`internal/(gnutella|openft|netsim|core|workload)(/|$)`)
+// study driver, the workload generator, and the telemetry layer. A raw
+// wall-clock read in any of them makes a 30-day trace non-reproducible.
+var clockRestricted = regexp.MustCompile(`internal/(gnutella|openft|netsim|core|workload|obs)(/|$)`)
 
 // bannedTimeFuncs are the time-package entry points that read or wait on
 // the wall clock. Pure types and constants (time.Duration, time.Second,

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"p2pmalware/internal/simclock"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_us", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i % 100000))
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_total", "network", "gnutella", "type", "query")
+	}
+}
+
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := NewTracer(simclock.NewVirtual(time.Time{}), "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("event", Int("n", int64(i)))
+	}
+}
+
+func BenchmarkAppendEvent(b *testing.B) {
+	e := Event{Time: simclock.DefaultEpoch, Scope: "bench", Seq: 1, Name: "download",
+		Attrs: []Attr{String("file", "setup.exe"), Int("size", 1<<20), String("verdict", "clean")}}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEvent(buf[:0], e)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family followed by
+// its samples, everything sorted for deterministic output. Histograms
+// expose the conventional `_bucket`/`_sum`/`_count` series with cumulative
+// `le` buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.sortedMetrics() {
+		if m.name != lastFamily {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+			lastFamily = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.key, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.key, m.gauge.Value())
+		case kindHistogram:
+			h := m.hist
+			var cum int64
+			for i := range h.counts {
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = strconv.FormatInt(h.bounds[i], 10)
+				}
+				cum += h.counts[i].Load()
+				fmt.Fprintf(bw, "%s %d\n", metricID(m.name+"_bucket", append(append([]string(nil), m.labels...), "le", le)), cum)
+			}
+			fmt.Fprintf(bw, "%s %d\n", metricID(m.name+"_sum", m.labels), h.sum.Load())
+			fmt.Fprintf(bw, "%s %d\n", metricID(m.name+"_count", m.labels), h.n.Load())
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the registry as one expvar-style JSON object keyed by
+// the canonical metric identities. Counters and gauges are numbers;
+// histograms are objects with sum, count and per-bucket counts.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, m := range r.sortedMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.key] = m.counter.Value()
+		case kindGauge:
+			out[m.key] = m.gauge.Value()
+		case kindHistogram:
+			h := m.hist
+			buckets := make(map[string]int64, len(h.counts))
+			for i := range h.counts {
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = strconv.FormatInt(h.bounds[i], 10)
+				}
+				buckets[le] = h.counts[i].Load()
+			}
+			out[m.key] = map[string]any{
+				"sum":     h.sum.Load(),
+				"count":   h.n.Load(),
+				"buckets": buckets,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encoding registry JSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Server exposes a registry over HTTP for live introspection of a running
+// study or daemon:
+//
+//	/metrics     Prometheus text exposition format
+//	/varz        expvar-style JSON (also served at /debug/vars)
+//
+// The daemons (gnutellad, openftd) and p2pstudy start one behind a
+// -metrics-addr flag; ":0" binds an ephemeral port reported by Addr.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr and serves reg (nil means Default) until Close.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	varz := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	}
+	mux.HandleFunc("/varz", varz)
+	mux.HandleFunc("/debug/vars", varz)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.run()
+	return s, nil
+}
+
+// run serves until the listener closes; http.Server.Serve returns once
+// Close tears the listener down, so the goroutine exits with the server.
+func (s *Server) run() {
+	s.srv.Serve(s.ln)
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

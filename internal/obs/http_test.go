@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("up_total", "net", "x").Add(5)
+	r.Histogram("lat_us", []int64{10}, "net", "x").Observe(3)
+
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE up_total counter",
+		`up_total{net="x"} 5`,
+		`lat_us_bucket{net="x",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	for _, path := range []string{"/varz", "/debug/vars"} {
+		body, ctype := get(path)
+		if !strings.Contains(ctype, "application/json") {
+			t.Fatalf("%s content type = %q", path, ctype)
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("%s not JSON: %v", path, err)
+		}
+		if m[`up_total{net="x"}`] != float64(5) {
+			t.Fatalf("%s counter = %v, want 5", path, m[`up_total{net="x"}`])
+		}
+	}
+}

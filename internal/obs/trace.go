@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"p2pmalware/internal/simclock"
+)
+
+// Attr is one ordered key/value pair on an event. Keys must not collide
+// with the reserved event fields ("t", "scope", "seq", "event").
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Event is one structured trace event. Time comes from the tracer's
+// (virtual) trace clock, so same-seed simulation runs produce identical
+// event streams; Seq orders events emitted at the same virtual instant
+// within one tracer.
+type Event struct {
+	Time  time.Time
+	Scope string
+	Seq   uint64
+	Name  string
+	Attrs []Attr
+}
+
+// Tracer records structured events stamped with virtual trace time. A nil
+// tracer is valid and drops every event, so instrumentation can emit
+// unconditionally. Tracer is safe for concurrent use.
+type Tracer struct {
+	clock simclock.Clock
+	scope string
+
+	mu     sync.Mutex
+	seq    uint64  // guarded by mu
+	events []Event // guarded by mu
+}
+
+// NewTracer returns a tracer reading timestamps from clock (nil means the
+// real clock) and stamping every event with scope (e.g. the network name).
+func NewTracer(clock simclock.Clock, scope string) *Tracer {
+	return &Tracer{clock: simclock.OrReal(clock), scope: scope}
+}
+
+// Emit records one event at the tracer clock's current time.
+func (t *Tracer) Emit(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	t.mu.Lock()
+	t.seq++
+	t.events = append(t.events, Event{Time: now, Scope: t.scope, Seq: t.seq, Name: name, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far, in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of events emitted so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// MergeEvents interleaves per-scope event streams into one chronological
+// stream, ordered by (time, scope, seq). Each input stream must itself be
+// in emission order (as Tracer.Events returns); the merge is then fully
+// deterministic even when the streams were produced concurrently.
+func MergeEvents(streams ...[]Event) []Event {
+	var n int
+	for _, s := range streams {
+		n += len(s)
+	}
+	out := make([]Event, 0, n)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// AppendEvent renders one event as a single JSON line (without trailing
+// newline) appended to dst. Fields appear in a fixed order — reserved
+// fields first, then attributes in emission order — so the encoding is
+// byte-deterministic.
+func AppendEvent(dst []byte, e Event) []byte {
+	dst = append(dst, `{"t":"`...)
+	dst = e.Time.UTC().AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","scope":`...)
+	dst = appendJSONString(dst, e.Scope)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"event":`...)
+	dst = appendJSONString(dst, e.Name)
+	for _, a := range e.Attrs {
+		dst = append(dst, ',')
+		dst = appendJSONString(dst, a.Key)
+		dst = append(dst, ':')
+		switch v := a.Value.(type) {
+		case string:
+			dst = appendJSONString(dst, v)
+		case int64:
+			dst = strconv.AppendInt(dst, v, 10)
+		case int:
+			dst = strconv.AppendInt(dst, int64(v), 10)
+		case float64:
+			dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+		case bool:
+			dst = strconv.AppendBool(dst, v)
+		default:
+			dst = appendJSONString(dst, fmt.Sprint(v))
+		}
+	}
+	dst = append(dst, '}')
+	return dst
+}
+
+// appendJSONString appends s as a JSON string literal.
+func appendJSONString(dst []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshalling a string only fails on invalid UTF-8, which
+		// json.Marshal replaces rather than rejects; keep the event.
+		return append(dst, `""`...)
+	}
+	return append(dst, b...)
+}
+
+// WriteEventsJSONL streams events as JSONL.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for i := range events {
+		line = AppendEvent(line[:0], events[i])
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return fmt.Errorf("obs: writing event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/simclock"
 )
@@ -39,6 +40,9 @@ type Config struct {
 	SearchTTL uint16
 	// OnSearchResult receives results for searches this node issued.
 	OnSearchResult func(SearchResp)
+	// Log, when set, receives leveled debug logging (see internal/obs),
+	// the same hook gnutella.Config carries.
+	Log *obs.Logger
 }
 
 // Node is one OpenFT node.
@@ -102,7 +106,11 @@ func (s *session) send(p *Packet) error {
 	direct := s.direct
 	if direct {
 		defer s.sendMu.Unlock()
-		return WritePacket(s.conn, p)
+		err := WritePacket(s.conn, p)
+		if err == nil {
+			met.tx[cmdIndex(p.Cmd)].Inc()
+		}
+		return err
 	}
 	s.sendMu.Unlock()
 	select {
@@ -114,6 +122,7 @@ func (s *session) send(p *Packet) error {
 	case s.out <- p:
 		return nil
 	default:
+		met.drop[cmdIndex(p.Cmd)].Inc()
 		return errors.New("openft: send queue full, packet dropped")
 	}
 }
@@ -134,6 +143,7 @@ func (s *session) startWriter() {
 					s.shutdown()
 					return
 				}
+				met.tx[cmdIndex(p.Cmd)].Inc()
 			}
 		}
 	}()
@@ -234,26 +244,31 @@ func (n *Node) acceptSession(c net.Conn, br *bufio.Reader) {
 	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	p, err := ReadPacket(br)
 	if err != nil || p.Cmd != CmdVersionReq {
+		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
 	p, err = ReadPacket(br)
 	if err != nil || p.Cmd != CmdNodeInfo {
+		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
 	info, err := ParseNodeInfo(p.Payload)
 	if err != nil {
+		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
 	s.info = info
 	c.SetReadDeadline(time.Time{})
 	if err := s.send(&Packet{Cmd: CmdVersionResp, Payload: []byte{0, 2, 1, 0}}); err != nil {
+		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
 	if err := s.send(n.nodeInfo().Encode()); err != nil {
+		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
@@ -261,6 +276,7 @@ func (n *Node) acceptSession(c net.Conn, br *bufio.Reader) {
 		c.Close()
 		return
 	}
+	met.handshakeAcceptOK.Inc()
 	s.startWriter()
 	n.runSession(s)
 }
@@ -293,16 +309,19 @@ func (n *Node) connect(addr string) (*session, error) {
 	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	p, err := ReadPacket(br)
 	if err != nil || p.Cmd != CmdVersionResp {
+		met.handshakeDialErr.Inc()
 		c.Close()
 		return nil, errors.New("openft: bad version response")
 	}
 	p, err = ReadPacket(br)
 	if err != nil || p.Cmd != CmdNodeInfo {
+		met.handshakeDialErr.Inc()
 		c.Close()
 		return nil, errors.New("openft: missing node info")
 	}
 	info, err := ParseNodeInfo(p.Payload)
 	if err != nil {
+		met.handshakeDialErr.Inc()
 		c.Close()
 		return nil, err
 	}
@@ -312,6 +331,7 @@ func (n *Node) connect(addr string) (*session, error) {
 		c.Close()
 		return nil, errors.New("openft: node closed")
 	}
+	met.handshakeDialOK.Inc()
 	s.startWriter()
 	n.wg.Add(1)
 	go func() {
@@ -405,11 +425,18 @@ func (n *Node) addSession(s *session) bool {
 		return false
 	}
 	n.sessions[s] = true
+	met.sessionGauge.Inc()
 	return true
 }
 
 func (n *Node) removeSession(s *session) {
 	n.mu.Lock()
+	if _, ok := n.sessions[s]; ok {
+		met.sessionGauge.Dec()
+	}
+	if n.childShares[s] != nil {
+		met.childGauge.Dec()
+	}
 	delete(n.sessions, s)
 	delete(n.childShares, s)
 	for id, sess := range n.respRoutes {
@@ -428,10 +455,16 @@ func (n *Node) runSession(s *session) {
 		if err != nil {
 			return
 		}
+		met.rx[cmdIndex(p.Cmd)].Inc()
 		if err := n.handle(s, p); err != nil {
+			n.logf("handle %s from %s: %v", p.Cmd, s.conn.RemoteAddr(), err)
 			return
 		}
 	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	n.cfg.Log.Debugf(format, args...)
 }
 
 func (n *Node) handle(s *session, p *Packet) error {
@@ -481,6 +514,7 @@ func (n *Node) handleChildReq(s *session) error {
 	if accept {
 		if n.childShares[s] == nil {
 			n.childShares[s] = make(map[string]childShare)
+			met.childGauge.Inc()
 		}
 		s.isChild = true
 	}

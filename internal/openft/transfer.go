@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/simclock"
 )
 
 // OpenFT transfers are HTTP on the node's port, addressed by content MD5:
@@ -34,15 +35,21 @@ const MaxTransferSize = 64 << 20
 // (no Content-Length header) reads to EOF under the same cap.
 func readBody(br *bufio.Reader, peerLen int64) ([]byte, error) {
 	if peerLen > MaxTransferSize {
+		met.clamped.Inc()
 		return nil, fmt.Errorf("openft: content length %d exceeds transfer cap %d", peerLen, int64(MaxTransferSize))
 	}
 	if peerLen < 0 {
-		return io.ReadAll(io.LimitReader(br, MaxTransferSize))
+		body, err := io.ReadAll(io.LimitReader(br, MaxTransferSize))
+		if err == nil {
+			met.bytesIn.Add(int64(len(body)))
+		}
+		return body, err
 	}
 	var buf bytes.Buffer
 	if _, err := io.CopyN(&buf, br, peerLen); err != nil {
 		return nil, fmt.Errorf("openft: download body: %w", err)
 	}
+	met.bytesIn.Add(peerLen)
 	return buf.Bytes(), nil
 }
 
@@ -86,12 +93,25 @@ func (n *Node) serveHTTP(c net.Conn, br *bufio.Reader) {
 	}
 	fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nContent-Type: application/binary\r\nContent-Length: %d\r\n\r\n", len(data))
 	if fields[0] == "GET" {
-		c.Write(data)
+		if _, err := c.Write(data); err == nil {
+			met.bytesOut.Add(int64(len(data)))
+		}
 	}
 }
 
-// Download fetches the file with the given hex MD5 from addr.
+// Download fetches the file with the given hex MD5 from addr. Durations
+// are wall time (they bound real socket activity) and feed the
+// transfer-latency histogram, never trace events.
 func Download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
+	start := ioClock.Now()
+	body, err := download(tr, addr, md5sum)
+	if err == nil {
+		met.transferDur.ObserveDuration(simclock.Since(ioClock, start))
+	}
+	return body, err
+}
+
+func download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
 	c, err := tr.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("openft: download dial %s: %w", addr, err)

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"time"
 
 	"p2pmalware/internal/archive"
 	"p2pmalware/internal/malware"
@@ -119,8 +120,17 @@ func (e *Engine) NumSignatures() int { return len(e.patterns) + len(e.hashes) }
 // A scan error on a nested archive is not fatal: corrupt archives simply
 // yield no nested detections, like a real engine skipping a broken file.
 func (e *Engine) Scan(data []byte) []Detection {
+	start := time.Now()
 	found := make(map[Detection]bool)
 	e.scan(data, "", 0, found)
+	met.bytesScanned.Add(int64(len(data)))
+	met.scanDur.ObserveDuration(time.Since(start))
+	met.detections.Add(int64(len(found)))
+	if len(found) == 0 {
+		met.scansClean.Inc()
+	} else {
+		met.scansInfected.Inc()
+	}
 	out := make([]Detection, 0, len(found))
 	for d := range found {
 		out = append(out, d)
