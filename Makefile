@@ -24,11 +24,15 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzReadPacket -fuzztime=10s ./internal/openft
 	go test -run='^$$' -fuzz=FuzzPEParse -fuzztime=10s ./internal/pe
 
-# Benchmarks: the obs/archive hot paths run 6 times each so the output
-# feeds benchstat; the table/figure pipeline benchmarks are heavyweight
-# (each iteration runs a scaled-down study) and run once. Non-gating in CI.
+# Benchmarks: the obs/archive/scanner hot paths run 6 times each so the
+# output feeds benchstat; the table/figure pipeline and study-engine
+# benchmarks are heavyweight (each iteration runs a scaled-down study)
+# and run once. benchjson folds everything into BENCH_4.json (mean across
+# runs), which CI uploads as an artifact. Non-gating in CI.
 bench:
-	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive
-	go test -run='^$$' -bench=. -benchmem -count=1 .
+	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive ./internal/scanner | tee bench.out
+	go test -run='^$$' -bench=. -benchmem -count=1 . | tee -a bench.out
+	go run ./cmd/benchjson -o BENCH_4.json < bench.out >/dev/null
+	rm -f bench.out
 
 ci: build lint race fuzz-smoke

@@ -284,6 +284,65 @@ func BenchmarkExtension_FakeContent(b *testing.B) {
 	b.ReportMetric(float64(lie.Downloads), "downloads")
 }
 
+// --- Study engine pipeline ---
+
+// runStudyPair runs the benchmark-scale two-network study (the same
+// configuration sharedTrace measures) with an explicit worker-pool size
+// and returns the total records produced.
+func runStudyPair(b *testing.B, workers int) int {
+	b.Helper()
+	n := 0
+	for _, cfg := range []core.StudyConfig{
+		{Seed: benchSeed, Days: 2, QueriesPerDay: benchQueriesLW / 2,
+			Quiesce: 6 * time.Millisecond, Workers: workers,
+			LimeWire: &netsim.LimeWireConfig{Seed: benchSeed}},
+		{Seed: benchSeed, Days: 2, QueriesPerDay: benchQueriesFT / 2,
+			Quiesce: 6 * time.Millisecond, Workers: workers,
+			OpenFT: &netsim.OpenFTConfig{Seed: benchSeed}},
+	} {
+		st, err := core.NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := st.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += len(tr.Records)
+	}
+	return n
+}
+
+// BenchmarkStudyPipeline times the end-to-end two-network study on the
+// pipelined engine with an 8-worker download/scan pool. ns/op is the
+// headline end-to-end wall time; study-sec restates it for the
+// benchmark-JSON artifact. The pre-pipeline engine took 12.78s wall on
+// this configuration (8.19s LimeWire + 4.59s OpenFT).
+func BenchmarkStudyPipeline(b *testing.B) {
+	var records int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		records = runStudyPair(b, 8)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "study-sec")
+	b.ReportMetric(float64(records), "records")
+}
+
+// BenchmarkStudySequential runs the same study with a single download
+// worker. Stage overlap (issue/collect/fetch/commit) still applies; the
+// StudyPipeline/StudySequential ratio isolates what fetch-pool width
+// buys on the host, independent of the scanner rewrite and the stage
+// pipelining both configurations share.
+func BenchmarkStudySequential(b *testing.B) {
+	var records int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		records = runStudyPair(b, 1)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "study-sec")
+	b.ReportMetric(float64(records), "records")
+}
+
 // --- Ablations (DESIGN.md "design choices worth ablating") ---
 
 var (

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON summary, so the benchmark suite's headline
+// numbers (ns/op, allocs/op, and custom metrics like study-sec or the
+// reproduced table percentages) land in one reviewable artifact.
+//
+// Input lines are echoed to stdout unchanged, so the command sits at the
+// end of a bench pipeline without hiding live output:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -o BENCH.json
+//
+// Measurements for a benchmark that appears multiple times (-count runs,
+// or the same suite re-run) are averaged. The output maps benchmark name
+// (GOMAXPROCS suffix stripped) to its summary, keys sorted, with no
+// timestamp so re-running on identical code produces an identical file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Summary is the serialized form of one benchmark's averaged results.
+type Summary struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Runs        int                `json:"runs"`
+}
+
+// accum collects per-unit measurement sums for one benchmark name.
+type accum struct {
+	runs int
+	sums map[string]float64 // unit -> sum of values across runs
+	seen map[string]int     // unit -> number of runs reporting it
+}
+
+// procSuffix matches the -GOMAXPROCS suffix go test appends to parallel
+// benchmark names; stripping it keeps JSON keys stable across hosts.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH.json", "output JSON path")
+	flag.Parse()
+
+	results := make(map[string]*accum)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		parseLine(line, results)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+
+	summaries := make(map[string]Summary, len(results))
+	for name, a := range results {
+		summaries[name] = a.summary()
+	}
+	data, err := json.MarshalIndent(summaries, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(summaries))
+}
+
+// parseLine folds one `go test -bench` result line into results. The
+// format is: name, iteration count, then value/unit pairs. Anything else
+// (headers, PASS/ok, build noise) is ignored.
+func parseLine(line string, results map[string]*accum) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return
+	}
+	if _, err := strconv.Atoi(f[1]); err != nil {
+		return
+	}
+	name := procSuffix.ReplaceAllString(f[0], "")
+	a := results[name]
+	if a == nil {
+		a = &accum{sums: make(map[string]float64), seen: make(map[string]int)}
+		results[name] = a
+	}
+	a.runs++
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return
+		}
+		a.sums[f[i+1]] += v
+		a.seen[f[i+1]]++
+	}
+}
+
+func (a *accum) summary() Summary {
+	s := Summary{Runs: a.runs}
+	for unit, sum := range a.sums {
+		mean := sum / float64(a.seen[unit])
+		switch unit {
+		case "ns/op":
+			s.NsPerOp = mean
+		case "B/op":
+			s.BytesPerOp = mean
+		case "allocs/op":
+			s.AllocsPerOp = mean
+		default:
+			if s.Metrics == nil {
+				s.Metrics = make(map[string]float64)
+			}
+			s.Metrics[unit] = mean
+		}
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseLineAveragesRuns(t *testing.T) {
+	results := make(map[string]*accum)
+	lines := []string{
+		"goos: linux",
+		"BenchmarkScan-8   	     100	  2000 ns/op	  512 B/op	   7 allocs/op",
+		"BenchmarkScan-8   	     100	  4000 ns/op	  512 B/op	   9 allocs/op",
+		"BenchmarkStudyPipeline 	       1	5623847352 ns/op	     21492 records	         5.624 study-sec",
+		"PASS",
+		"ok  	p2pmalware	10.665s",
+	}
+	for _, l := range lines {
+		parseLine(l, results)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(results))
+	}
+
+	scan := results["BenchmarkScan"].summary()
+	if scan.Runs != 2 || scan.NsPerOp != 3000 || scan.AllocsPerOp != 8 || scan.BytesPerOp != 512 {
+		t.Fatalf("BenchmarkScan summary = %+v", scan)
+	}
+
+	study := results["BenchmarkStudyPipeline"].summary()
+	if study.Runs != 1 {
+		t.Fatalf("study runs = %d, want 1", study.Runs)
+	}
+	if got := study.Metrics["study-sec"]; math.Abs(got-5.624) > 1e-9 {
+		t.Fatalf("study-sec = %v, want 5.624", got)
+	}
+	if got := study.Metrics["records"]; got != 21492 {
+		t.Fatalf("records = %v, want 21492", got)
+	}
+}
+
+func TestParseLineIgnoresMalformed(t *testing.T) {
+	results := make(map[string]*accum)
+	for _, l := range []string{
+		"Benchmark",                     // no fields
+		"BenchmarkX notanumber 1 ns/op", // bad iteration count
+		"cpu: Intel(R) Xeon(R)",
+	} {
+		parseLine(l, results)
+	}
+	if len(results) != 0 {
+		t.Fatalf("malformed lines produced %d results", len(results))
+	}
+}

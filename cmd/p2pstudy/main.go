@@ -35,6 +35,7 @@ func main() {
 		churn   = flag.Float64("churn", 0, "fraction of honest LimeWire leaves replaced per virtual day")
 		fake    = flag.Float64("fake-files", 0, "fraction of honest downloadable shares that are decoys (size lies)")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		workers = flag.Int("workers", 0, "download/scan worker pool size per network (0 = GOMAXPROCS); traces are byte-identical for any value")
 
 		progress    = flag.Duration("progress", 24*time.Hour, "virtual interval between progress reports (0 disables)")
 		events      = flag.String("events", "", "optional event-trace output path (JSONL, virtual timestamps)")
@@ -54,7 +55,7 @@ func main() {
 
 	cfg := core.StudyConfig{
 		Seed: *seed, Days: *days, QueriesPerDay: *perDay,
-		Quiesce: *quiesce, ChurnPerDay: *churn,
+		Quiesce: *quiesce, ChurnPerDay: *churn, Workers: *workers,
 		ProgressEvery: *progress, TraceWallLatency: *wallLatency,
 	}
 	switch *network {

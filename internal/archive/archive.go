@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Member is one file inside an archive.
@@ -114,6 +115,18 @@ func MinSize(members []Member) (int, error) {
 	return len(b), nil
 }
 
+// stagePool recycles the decompression staging buffers Extract uses, so a
+// study extracting the same few hundred distinct archives thousands of
+// times does not re-grow a scratch buffer per member. Only the staging
+// area is pooled; member data is returned in exact-size caller-owned
+// slices.
+var stagePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledStage caps the capacity a staging buffer may retain in the
+// pool; one pathological oversized member must not pin its worth of
+// memory forever.
+const maxPooledStage = 4 << 20
+
 // Extract parses b as a ZIP archive and returns its members. Members larger
 // than MaxMemberSize abort extraction with ErrTooLarge.
 func Extract(b []byte) ([]Member, error) {
@@ -121,6 +134,12 @@ func Extract(b []byte) ([]Member, error) {
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
+	stage := stagePool.Get().(*bytes.Buffer)
+	defer func() {
+		if stage.Cap() <= maxPooledStage {
+			stagePool.Put(stage)
+		}
+	}()
 	var members []Member
 	for _, f := range r.File {
 		if f.UncompressedSize64 > MaxMemberSize {
@@ -130,14 +149,17 @@ func Extract(b []byte) ([]Member, error) {
 		if err != nil {
 			return nil, fmt.Errorf("archive: open %q: %w", f.Name, err)
 		}
-		data, err := io.ReadAll(io.LimitReader(rc, MaxMemberSize+1))
+		stage.Reset()
+		_, err = io.Copy(stage, io.LimitReader(rc, MaxMemberSize+1))
 		rc.Close()
 		if err != nil {
 			return nil, fmt.Errorf("archive: read %q: %w", f.Name, err)
 		}
-		if len(data) > MaxMemberSize {
+		if stage.Len() > MaxMemberSize {
 			return nil, ErrTooLarge
 		}
+		data := make([]byte, stage.Len())
+		copy(data, stage.Bytes())
 		members = append(members, Member{Name: f.Name, Data: data})
 	}
 	return members, nil

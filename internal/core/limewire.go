@@ -11,21 +11,21 @@ import (
 	"p2pmalware/internal/archive"
 	"p2pmalware/internal/dataset"
 	"p2pmalware/internal/gnutella"
+	"p2pmalware/internal/guid"
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/netsim"
 	"p2pmalware/internal/obs"
 	"p2pmalware/internal/p2p"
-	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
 )
 
-// lwCollector accumulates the hits for the in-flight query. Its clock is
-// wall time — drain waits on hits produced by real network goroutines.
+// lwCollector accumulates the hits for one in-flight query. Hits are
+// demultiplexed to it by query GUID, so any number of queries can collect
+// concurrently while the pipeline overlaps their settle waits.
 type lwCollector struct {
-	clock   simclock.Clock // always simclock.Real; a field so tests could stub it
-	mu      sync.Mutex
-	hits    []lwHit   // guarded by mu
-	lastHit time.Time // guarded by mu
+	set  *settler
+	mu   sync.Mutex
+	hits []lwHit // guarded by mu
 }
 
 type lwHit struct {
@@ -33,31 +33,14 @@ type lwHit struct {
 	hit gnutella.Hit
 }
 
-func (c *lwCollector) add(qh *gnutella.QueryHit, hit gnutella.Hit) {
+func (c *lwCollector) add(h lwHit) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits = append(c.hits, lwHit{qh: *qh, hit: hit})
-	c.lastHit = c.clock.Now()
+	c.hits = append(c.hits, h)
+	c.mu.Unlock()
+	c.set.arrived()
 }
 
-// drain waits for the response stream to quiesce and returns the hits.
-func (c *lwCollector) drain(quiesce, maxWait time.Duration) []lwHit {
-	start := c.clock.Now()
-	deadline := start.Add(maxWait)
-	for c.clock.Now().Before(deadline) {
-		c.mu.Lock()
-		last := c.lastHit
-		n := len(c.hits)
-		c.mu.Unlock()
-		if n > 0 && simclock.Since(c.clock, last) >= quiesce {
-			break
-		}
-		if n == 0 && simclock.Since(c.clock, start) >= 4*quiesce {
-			// No responder at all for this query.
-			break
-		}
-		simclock.Sleep(c.clock, quiesce/5)
-	}
+func (c *lwCollector) take() []lwHit {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.hits
@@ -65,8 +48,75 @@ func (c *lwCollector) drain(quiesce, maxWait time.Duration) []lwHit {
 	return out
 }
 
+// lwDemux routes query hits to the collector registered for their GUID.
+// Hits for unregistered GUIDs — stragglers that arrive after their query's
+// quiesce window closed — go to the oldest in-flight query instead, which
+// is exactly where the sequential engine's single shared collector put
+// them; with no query in flight they are buffered for the next one. That
+// keeps population totals independent of collection timing: a straggler is
+// never lost, only (rarely, and only under CPU contention) attributed to a
+// neighboring query.
+type lwDemux struct {
+	mu       sync.Mutex
+	cols     map[guid.GUID]*lwCollector // guarded by mu
+	order    []guid.GUID                // registration order; guarded by mu
+	overflow []lwHit                    // stragglers awaiting a collector; guarded by mu
+}
+
+// dispatch delivers a query hit's file entries to the right collector.
+func (d *lwDemux) dispatch(g guid.GUID, qh *gnutella.QueryHit) {
+	d.mu.Lock()
+	col := d.cols[g]
+	if col == nil && len(d.order) > 0 {
+		col = d.cols[d.order[0]]
+	}
+	if col == nil {
+		for _, h := range qh.Hits {
+			d.overflow = append(d.overflow, lwHit{qh: *qh, hit: h})
+		}
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	for _, h := range qh.Hits {
+		col.add(lwHit{qh: *qh, hit: h})
+	}
+}
+
+func (d *lwDemux) put(g guid.GUID, c *lwCollector) {
+	d.mu.Lock()
+	d.cols[g] = c
+	d.order = append(d.order, g)
+	of := d.overflow
+	d.overflow = nil
+	d.mu.Unlock()
+	for _, h := range of {
+		c.add(h)
+	}
+}
+
+func (d *lwDemux) del(g guid.GUID) {
+	d.mu.Lock()
+	delete(d.cols, g)
+	for i, o := range d.order {
+		if o == g {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+// lwDone is one finished (downloaded, scanned) response awaiting commit.
+type lwDone struct {
+	rec    dataset.ResponseRecord
+	wallUS int64
+}
+
 // runLimeWire drives the instrumented LimeWire client over the simulated
-// Gnutella universe, appending records to tr.
+// Gnutella universe, appending records to tr. Per-query work is pipelined
+// (see pipeline.go); the committer reproduces the sequential engine's
+// exact record and event order.
 func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	net_, err := netsim.BuildLimeWire(*s.cfg.LimeWire)
 	if err != nil {
@@ -74,10 +124,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	}
 	defer net_.Close()
 
-	collector := &lwCollector{clock: simclock.Real{}}
-	var colMu sync.Mutex
-	active := collector
-
+	demux := &lwDemux{cols: make(map[guid.GUID]*lwCollector)}
 	clientIP := net.IPv4(156, 56, 1, 10) // the measurement host
 	client := gnutella.NewNode(gnutella.Config{
 		Role:        gnutella.Leaf,
@@ -86,12 +133,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 		AdvertiseIP: clientIP, AdvertisePort: 6346,
 		UserAgent: "LimeWire/4.10.9-instrumented", Vendor: "LIME",
 		OnQueryHit: func(qh *gnutella.QueryHit, m *gnutella.Message) {
-			colMu.Lock()
-			col := active
-			colMu.Unlock()
-			for _, h := range qh.Hits {
-				col.add(qh, h)
-			}
+			demux.dispatch(m.GUID, qh)
 		},
 	})
 	if err := client.Start(); err != nil {
@@ -108,7 +150,8 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	if err != nil {
 		return err
 	}
-	cache := newDownloadCache()
+	cache := newFetchCache()
+	pushLocks := newKeyedLocks()
 	total := s.totalQueries()
 	interval := 24 * time.Hour / time.Duration(s.cfg.QueriesPerDay)
 
@@ -119,18 +162,24 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	clock := simclock.NewVirtual(s.cfg.Epoch)
 	trace := obs.NewTracer(clock, "limewire")
 	s.addTracer(trace)
+	pl := newPipeline(s.cfg.Workers, lwMet)
+	defer pl.stop()
 	var tl tally
-	var firstErr error
+	var errs errBox
 	if s.cfg.ChurnPerDay > 0 {
 		for d := 1; d < s.cfg.Days; d++ {
 			day := d
 			clock.Schedule(time.Duration(d)*24*time.Hour, func(now time.Time) {
-				if firstErr != nil {
+				if errs.get() != nil {
 					return
 				}
+				// Churn swaps live nodes: every in-flight download must
+				// finish against the pre-churn population first, as it did
+				// when queries were processed synchronously.
+				pl.barrier()
 				replaced, err := net_.ChurnHonest(s.cfg.ChurnPerDay)
 				if err != nil {
-					firstErr = fmt.Errorf("core: churn on day %d: %w", day, err)
+					errs.set(fmt.Errorf("core: churn on day %d: %w", day, err))
 					return
 				}
 				trace.Emit("churn", obs.Int("day", int64(day)), obs.Int("replaced", int64(replaced)))
@@ -141,80 +190,126 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	for i := 0; i < total; i++ {
 		i := i
 		clock.Schedule(time.Duration(i)*interval, func(now time.Time) {
-			if firstErr != nil {
+			if errs.get() != nil {
 				return
 			}
+			// The callback only draws the term (the generator stream must
+			// advance in issue order) and submits; the flood itself runs in
+			// a worker so that no more than Workers queries are collecting
+			// hits at once.
 			term := gen.Next()
-			trace.Emit("query", obs.Int("n", int64(i)), obs.String("q", term.Text), obs.String("category", string(term.Category)))
-			colMu.Lock()
-			active = &lwCollector{clock: simclock.Real{}}
-			col := active
-			colMu.Unlock()
-			if _, err := client.Query(term.Text, ""); err != nil {
-				firstErr = err
-				return
+			emitQuery := func() {
+				trace.EmitAt(now, "query", obs.Int("n", int64(i)), obs.String("q", term.Text), obs.String("category", string(term.Category)))
 			}
-			hits := col.drain(s.cfg.Quiesce, s.cfg.MaxWait)
-			sortLWHits(hits)
-			tr.QueriesSent[dataset.LimeWire]++
-			tl.queries++
-			tl.responses += len(hits)
-			lwMet.queries.Inc()
-			lwMet.responses.Add(int64(len(hits)))
-			trace.Emit("responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(hits))))
-			for _, h := range hits {
-				rec := dataset.ResponseRecord{
-					Time:          now,
-					Network:       dataset.LimeWire,
-					Query:         term.Text,
-					QueryCategory: string(term.Category),
-					Filename:      p2p.SanitizeFilename(h.hit.Name),
-					Size:          int64(h.hit.Size),
-					SourceIP:      h.qh.IP.String(),
-					SourcePort:    h.qh.Port,
-					SourceClass:   ipaddr.Classify(h.qh.IP).String(),
-					ServentID:     h.qh.ServentID.String(),
-					ContentID:     h.hit.Extensions,
-					Vendor:        h.qh.Vendor,
-					PushFlagged:   h.qh.Flags&gnutella.QHDPush != 0,
-					Downloadable:  archive.IsDownloadable(p2p.SanitizeFilename(h.hit.Name)),
-				}
-				if rec.Downloadable {
-					var wallStart time.Time
-					if s.cfg.TraceWallLatency {
-						wallStart = wallClock.Now()
+			var hits []lwHit
+			var out []lwDone
+			var floodErr error
+			pl.submit(&pipeTask{
+				collect: func() {
+					col := &lwCollector{set: newSettler(simclock.Real{})}
+					g := guid.New()
+					demux.put(g, col)
+					if err := client.QueryWith(g, term.Text, ""); err != nil {
+						demux.del(g)
+						floodErr = err
+						return
 					}
-					s.downloadLimeWire(client, net_, &rec, h, cache)
-					attrs := []obs.Attr{
-						obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
-						obs.String("file", rec.Filename),
-						obs.Int("size", rec.BodySize),
-						obs.String("verdict", downloadVerdict(&rec)),
+					collectStart := wallClock.Now()
+					col.set.settle(s.cfg.Quiesce, s.cfg.MaxWait)
+					demux.del(g)
+					lwMet.stageCollect.ObserveDuration(simclock.Since(wallClock, collectStart))
+					hits = col.take()
+					sortLWHits(hits)
+				},
+				run: func() {
+					if floodErr != nil {
+						return
 					}
-					if s.cfg.TraceWallLatency {
-						attrs = append(attrs, obs.Int("wall_us", int64(simclock.Since(wallClock, wallStart)/time.Microsecond)))
+					fetchStart := wallClock.Now()
+					out = make([]lwDone, 0, len(hits))
+					for _, h := range hits {
+						name := p2p.SanitizeFilename(h.hit.Name)
+						d := lwDone{rec: dataset.ResponseRecord{
+							Time:          now,
+							Network:       dataset.LimeWire,
+							Query:         term.Text,
+							QueryCategory: string(term.Category),
+							Filename:      name,
+							Size:          int64(h.hit.Size),
+							SourceIP:      h.qh.IP.String(),
+							SourcePort:    h.qh.Port,
+							SourceClass:   ipaddr.Classify(h.qh.IP).String(),
+							ServentID:     h.qh.ServentID.String(),
+							ContentID:     h.hit.Extensions,
+							Vendor:        h.qh.Vendor,
+							PushFlagged:   h.qh.Flags&gnutella.QHDPush != 0,
+							Downloadable:  archive.IsDownloadable(name),
+						}}
+						if d.rec.Downloadable {
+							var wallStart time.Time
+							if s.cfg.TraceWallLatency {
+								wallStart = wallClock.Now()
+							}
+							res := s.fetchLimeWire(client, net_, &d.rec, h, cache, pushLocks)
+							applyResult(&d.rec, res)
+							if s.cfg.TraceWallLatency {
+								d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
+							}
+						}
+						out = append(out, d)
 					}
-					trace.Emit("download", attrs...)
-					if rec.DownloadError != "" {
-						lwMet.downloadsErr.Inc()
-					} else {
-						lwMet.downloadsOK.Inc()
+					lwMet.stageFetch.ObserveDuration(simclock.Since(wallClock, fetchStart))
+				},
+				commit: func() {
+					// The sequential engine emitted the query event before
+					// flooding, so a failed flood still gets its event.
+					emitQuery()
+					if floodErr != nil {
+						errs.set(floodErr)
+						return
 					}
-					if rec.Malware != "" {
-						tl.malware++
-						lwMet.malware.Inc()
+					tr.QueriesSent[dataset.LimeWire]++
+					tl.queries++
+					tl.responses += len(out)
+					lwMet.queries.Inc()
+					lwMet.responses.Add(int64(len(out)))
+					trace.EmitAt(now, "responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(out))))
+					for _, d := range out {
+						rec := d.rec
+						if rec.Downloadable {
+							attrs := []obs.Attr{
+								obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
+								obs.String("file", rec.Filename),
+								obs.Int("size", rec.BodySize),
+								obs.String("verdict", downloadVerdict(&rec)),
+							}
+							if s.cfg.TraceWallLatency {
+								attrs = append(attrs, obs.Int("wall_us", d.wallUS))
+							}
+							trace.EmitAt(now, "download", attrs...)
+							if rec.DownloadError != "" {
+								lwMet.downloadsErr.Inc()
+							} else {
+								lwMet.downloadsOK.Inc()
+							}
+							if rec.Malware != "" {
+								tl.malware++
+								lwMet.malware.Inc()
+							}
+						}
+						tr.Add(rec)
 					}
-				}
-				tr.Add(rec)
-			}
-			if (i+1)%500 == 0 {
-				s.progress("limewire: %d/%d queries, %d records", i+1, total, len(tr.Records))
-			}
+					if (i+1)%500 == 0 {
+						s.progress("limewire: %d/%d queries, %d records", i+1, total, len(tr.Records))
+					}
+				},
+			})
 		})
 	}
-	s.scheduleProgress(clock, trace, "limewire", &tl)
+	s.scheduleProgress(clock, trace, "limewire", &tl, pl.barrier)
 	clock.Run(0)
-	return firstErr
+	pl.stop()
+	return errs.get()
 }
 
 // sortLWHits orders drained hits by stable response identity so record and
@@ -238,82 +333,25 @@ func sortLWHits(hits []lwHit) {
 	})
 }
 
-// downloadLimeWire fetches a downloadable hit (directly, or via push for
-// firewalled sources), scans it, and fills the record.
-func (s *Study) downloadLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, rec *dataset.ResponseRecord, h lwHit, cache *downloadCache) {
+// fetchLimeWire fetches a downloadable hit (directly, or via push for
+// firewalled sources) and returns its labelled verdict. The cache gives
+// singleflight semantics per source endpoint + index, and the keyed lock
+// serializes push downloads per (servent, index) so concurrent workers
+// cannot collide on the push-callback registration.
+func (s *Study) fetchLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, rec *dataset.ResponseRecord, h lwHit, cache *fetchCache, pushLocks *keyedLocks) fetchResult {
 	key := fmt.Sprintf("%s:%d/%d/%d", rec.SourceIP, rec.SourcePort, h.hit.Index, h.hit.Size)
-	if body, ok := cache.get(key); ok {
-		s.labelDownload(rec, body, nil)
-		return
-	}
-	if err, ok := cache.getErr(key); ok {
-		s.labelDownload(rec, nil, err)
-		return
-	}
-	var body []byte
-	var err error
-	if rec.PushFlagged {
-		body, err = client.DownloadViaPush(h.qh.ServentID, h.hit.Index, h.hit.Name, 5*time.Second)
-	} else {
-		addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
-		body, err = gnutella.Download(net_.Mem, addr, h.hit.Index, h.hit.Name)
-	}
-	if err == nil {
-		cache.put(key, body)
-	} else {
-		cache.putErr(key, err)
-	}
-	s.labelDownload(rec, body, err)
-}
-
-// labelDownload applies scan results to a record.
-func (s *Study) labelDownload(rec *dataset.ResponseRecord, body []byte, err error) {
-	if err != nil {
-		rec.DownloadError = err.Error()
-		return
-	}
-	rec.Downloaded = true
-	rec.BodyHash = scanner.HexHash(body)
-	rec.BodySize = int64(len(body))
-	if fam, ok := s.engine.Infected(body); ok {
-		rec.Malware = fam
-	}
-}
-
-// downloadCache memoizes downloads per source endpoint + index so the same
-// specimen is fetched once per host, like the study's downloader.
-type downloadCache struct {
-	mu     sync.Mutex
-	bodies map[string][]byte // guarded by mu
-	errs   map[string]error  // guarded by mu
-}
-
-func newDownloadCache() *downloadCache {
-	return &downloadCache{bodies: make(map[string][]byte), errs: make(map[string]error)}
-}
-
-func (c *downloadCache) get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b, ok := c.bodies[key]
-	return b, ok
-}
-
-func (c *downloadCache) getErr(key string) (error, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.errs[key]
-	return e, ok
-}
-
-func (c *downloadCache) put(key string, body []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.bodies[key] = body
-}
-
-func (c *downloadCache) putErr(key string, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.errs[key] = err
+	push := rec.PushFlagged
+	return cache.do(key, func() fetchResult {
+		var body []byte
+		var err error
+		if push {
+			unlock := pushLocks.lock(fmt.Sprintf("%s/%d", h.qh.ServentID, h.hit.Index))
+			body, err = client.DownloadViaPush(h.qh.ServentID, h.hit.Index, h.hit.Name, 5*time.Second)
+			unlock()
+		} else {
+			addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
+			body, err = gnutella.Download(net_.Mem, addr, h.hit.Index, h.hit.Name)
+		}
+		return s.labelFetch(body, err)
+	})
 }

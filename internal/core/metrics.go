@@ -24,21 +24,32 @@ type netMetrics struct {
 	downloadsOK  *obs.Counter
 	downloadsErr *obs.Counter
 	malware      *obs.Counter
+
+	// Pipeline introspection: how many queries sit between issue and
+	// commit, and where each one spends its wall time.
+	inflight        *obs.Gauge
+	stageCollect    *obs.Histogram
+	stageFetch      *obs.Histogram
+	stageCommitWait *obs.Histogram
 }
 
 func newNetMetrics(network string) *netMetrics {
 	return &netMetrics{
-		queries:      obs.C("p2p_study_queries_total", "network", network),
-		responses:    obs.C("p2p_study_responses_total", "network", network),
-		downloadsOK:  obs.C("p2p_study_downloads_total", "network", network, "result", "ok"),
-		downloadsErr: obs.C("p2p_study_downloads_total", "network", network, "result", "error"),
-		malware:      obs.C("p2p_study_malware_total", "network", network),
+		queries:         obs.C("p2p_study_queries_total", "network", network),
+		responses:       obs.C("p2p_study_responses_total", "network", network),
+		downloadsOK:     obs.C("p2p_study_downloads_total", "network", network, "result", "ok"),
+		downloadsErr:    obs.C("p2p_study_downloads_total", "network", network, "result", "error"),
+		malware:         obs.C("p2p_study_malware_total", "network", network),
+		inflight:        obs.G("p2p_study_pipeline_inflight", "network", network),
+		stageCollect:    obs.H("p2p_study_stage_us", obs.LatencyBuckets, "network", network, "stage", "collect"),
+		stageFetch:      obs.H("p2p_study_stage_us", obs.LatencyBuckets, "network", network, "stage", "fetch"),
+		stageCommitWait: obs.H("p2p_study_stage_us", obs.LatencyBuckets, "network", network, "stage", "commit_wait"),
 	}
 }
 
 // tally tracks one network's running totals for progress reporting. It is
-// only touched from that network's virtual-clock callbacks, which fire
-// sequentially in one goroutine.
+// written only by that network's committer goroutine and read by progress
+// callbacks behind a pipeline barrier, which orders the accesses.
 type tally struct {
 	queries   int
 	responses int

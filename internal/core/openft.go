@@ -18,43 +18,74 @@ import (
 	"p2pmalware/internal/simclock"
 )
 
-// ftCollector accumulates search results for the in-flight OpenFT search.
-// Its clock is wall time — drain waits on results produced by real network
-// goroutines.
+// ftCollector accumulates search results for one in-flight OpenFT search,
+// demultiplexed by search ID so queries collect concurrently.
 type ftCollector struct {
-	clock   simclock.Clock // always simclock.Real; a field so tests could stub it
+	set     *settler
 	mu      sync.Mutex
-	id      uint32
 	results []openft.SearchResp // guarded by mu
-	lastHit time.Time           // guarded by mu
 }
 
 func (c *ftCollector) add(r openft.SearchResp) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.id != 0 && r.ID != c.id {
-		return // stale result from a previous search
-	}
 	c.results = append(c.results, r)
-	c.lastHit = c.clock.Now()
+	c.mu.Unlock()
+	c.set.arrived()
 }
 
-func (c *ftCollector) drain(quiesce, maxWait time.Duration) []openft.SearchResp {
-	start := c.clock.Now()
-	deadline := start.Add(maxWait)
-	for c.clock.Now().Before(deadline) {
-		c.mu.Lock()
-		last := c.lastHit
-		n := len(c.results)
-		c.mu.Unlock()
-		if n > 0 && simclock.Since(c.clock, last) >= quiesce {
-			break
-		}
-		if n == 0 && simclock.Since(c.clock, start) >= 4*quiesce {
-			break
-		}
-		simclock.Sleep(c.clock, quiesce/5)
+// ftDemux routes search results to the collector registered for their
+// search ID. Results for unregistered IDs — stragglers past their query's
+// quiesce window — go to the oldest in-flight search (the sequential
+// engine's shared-collector behavior), or are buffered for the next one,
+// so population totals stay independent of collection timing.
+type ftDemux struct {
+	mu       sync.Mutex
+	cols     map[uint32]*ftCollector // guarded by mu
+	order    []uint32                // registration order; guarded by mu
+	overflow []openft.SearchResp     // stragglers awaiting a collector; guarded by mu
+}
+
+// dispatch delivers one search result to the right collector.
+func (d *ftDemux) dispatch(r openft.SearchResp) {
+	d.mu.Lock()
+	col := d.cols[r.ID]
+	if col == nil && len(d.order) > 0 {
+		col = d.cols[d.order[0]]
 	}
+	if col == nil {
+		d.overflow = append(d.overflow, r)
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	col.add(r)
+}
+
+func (d *ftDemux) put(id uint32, c *ftCollector) {
+	d.mu.Lock()
+	d.cols[id] = c
+	d.order = append(d.order, id)
+	of := d.overflow
+	d.overflow = nil
+	d.mu.Unlock()
+	for _, r := range of {
+		c.add(r)
+	}
+}
+
+func (d *ftDemux) del(id uint32) {
+	d.mu.Lock()
+	delete(d.cols, id)
+	for i, o := range d.order {
+		if o == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+func (c *ftCollector) take() []openft.SearchResp {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.results
@@ -62,8 +93,16 @@ func (c *ftCollector) drain(quiesce, maxWait time.Duration) []openft.SearchResp 
 	return out
 }
 
+// ftDone is one finished (downloaded, scanned) response awaiting commit.
+type ftDone struct {
+	rec    dataset.ResponseRecord
+	wallUS int64
+}
+
 // runOpenFT drives the instrumented giFT/OpenFT client over the simulated
-// OpenFT universe, appending records to tr.
+// OpenFT universe, appending records to tr. Per-query work is pipelined
+// (see pipeline.go); the committer reproduces the sequential engine's
+// exact record and event order.
 func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	net_, err := netsim.BuildOpenFT(*s.cfg.OpenFT)
 	if err != nil {
@@ -71,9 +110,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	}
 	defer net_.Close()
 
-	var colMu sync.Mutex
-	active := &ftCollector{clock: simclock.Real{}}
-
+	demux := &ftDemux{cols: make(map[uint32]*ftCollector)}
 	clientIP := net.IPv4(156, 56, 1, 11)
 	client := openft.NewNode(openft.Config{
 		Class:       openft.ClassUser,
@@ -82,10 +119,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 		AdvertiseIP: clientIP, AdvertisePort: 1216,
 		Alias: "giFT-instrumented",
 		OnSearchResult: func(r openft.SearchResp) {
-			colMu.Lock()
-			col := active
-			colMu.Unlock()
-			col.add(r)
+			demux.dispatch(r)
 		},
 	})
 	if err := client.Start(); err != nil {
@@ -102,92 +136,135 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	if err != nil {
 		return err
 	}
-	cache := newDownloadCache()
+	cache := newFetchCache()
 	total := s.totalQueries()
 	interval := 24 * time.Hour / time.Duration(s.cfg.QueriesPerDay)
 	clock := simclock.NewVirtual(s.cfg.Epoch)
 	trace := obs.NewTracer(clock, "openft")
 	s.addTracer(trace)
+	pl := newPipeline(s.cfg.Workers, ftMet)
+	defer pl.stop()
 	var tl tally
-	var firstErr error
+	var errs errBox
 	for i := 0; i < total; i++ {
 		i := i
 		clock.Schedule(time.Duration(i)*interval, func(now time.Time) {
-			if firstErr != nil {
+			if errs.get() != nil {
 				return
 			}
+			// Term draw stays on the clock goroutine (generator order is
+			// issue order); the flood runs in a worker so at most Workers
+			// searches collect results at once.
 			term := gen.Next()
-			trace.Emit("query", obs.Int("n", int64(i)), obs.String("q", term.Text), obs.String("category", string(term.Category)))
-			colMu.Lock()
-			active = &ftCollector{clock: simclock.Real{}}
-			col := active
-			colMu.Unlock()
-			id, err := client.Search(term.Text)
-			if err != nil {
-				firstErr = err
-				return
+			emitQuery := func() {
+				trace.EmitAt(now, "query", obs.Int("n", int64(i)), obs.String("q", term.Text), obs.String("category", string(term.Category)))
 			}
-			col.mu.Lock()
-			col.id = id
-			col.mu.Unlock()
-			results := col.drain(s.cfg.Quiesce, s.cfg.MaxWait)
-			sortFTResults(results)
-			tr.QueriesSent[dataset.OpenFT]++
-			tl.queries++
-			tl.responses += len(results)
-			ftMet.queries.Inc()
-			ftMet.responses.Add(int64(len(results)))
-			trace.Emit("responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(results))))
-			for _, r := range results {
-				rec := dataset.ResponseRecord{
-					Time:          now,
-					Network:       dataset.OpenFT,
-					Query:         term.Text,
-					QueryCategory: string(term.Category),
-					Filename:      p2p.SanitizeFilename(r.Path),
-					Size:          int64(r.Size),
-					SourceIP:      r.IP.String(),
-					SourcePort:    r.Port,
-					SourceClass:   ipaddr.Classify(r.IP).String(),
-					ContentID:     r.MD5,
-					Downloadable:  archive.IsDownloadable(p2p.SanitizeFilename(r.Path)),
-				}
-				if rec.Downloadable {
-					var wallStart time.Time
-					if s.cfg.TraceWallLatency {
-						wallStart = wallClock.Now()
+			var results []openft.SearchResp
+			var out []ftDone
+			var floodErr error
+			pl.submit(&pipeTask{
+				collect: func() {
+					col := &ftCollector{set: newSettler(simclock.Real{})}
+					id := openft.NewSearchID()
+					demux.put(id, col)
+					if err := client.SearchWith(id, term.Text); err != nil {
+						demux.del(id)
+						floodErr = err
+						return
 					}
-					s.downloadOpenFT(net_, &rec, r, cache)
-					attrs := []obs.Attr{
-						obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
-						obs.String("file", rec.Filename),
-						obs.Int("size", rec.BodySize),
-						obs.String("verdict", downloadVerdict(&rec)),
+					collectStart := wallClock.Now()
+					col.set.settle(s.cfg.Quiesce, s.cfg.MaxWait)
+					demux.del(id)
+					ftMet.stageCollect.ObserveDuration(simclock.Since(wallClock, collectStart))
+					results = col.take()
+					sortFTResults(results)
+				},
+				run: func() {
+					if floodErr != nil {
+						return
 					}
-					if s.cfg.TraceWallLatency {
-						attrs = append(attrs, obs.Int("wall_us", int64(simclock.Since(wallClock, wallStart)/time.Microsecond)))
+					fetchStart := wallClock.Now()
+					out = make([]ftDone, 0, len(results))
+					for _, r := range results {
+						name := p2p.SanitizeFilename(r.Path)
+						d := ftDone{rec: dataset.ResponseRecord{
+							Time:          now,
+							Network:       dataset.OpenFT,
+							Query:         term.Text,
+							QueryCategory: string(term.Category),
+							Filename:      name,
+							Size:          int64(r.Size),
+							SourceIP:      r.IP.String(),
+							SourcePort:    r.Port,
+							SourceClass:   ipaddr.Classify(r.IP).String(),
+							ContentID:     r.MD5,
+							Downloadable:  archive.IsDownloadable(name),
+						}}
+						if d.rec.Downloadable {
+							var wallStart time.Time
+							if s.cfg.TraceWallLatency {
+								wallStart = wallClock.Now()
+							}
+							res := s.fetchOpenFT(net_, &d.rec, r, cache)
+							applyResult(&d.rec, res)
+							if s.cfg.TraceWallLatency {
+								d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
+							}
+						}
+						out = append(out, d)
 					}
-					trace.Emit("download", attrs...)
-					if rec.DownloadError != "" {
-						ftMet.downloadsErr.Inc()
-					} else {
-						ftMet.downloadsOK.Inc()
+					ftMet.stageFetch.ObserveDuration(simclock.Since(wallClock, fetchStart))
+				},
+				commit: func() {
+					// The sequential engine emitted the query event before
+					// flooding, so a failed flood still gets its event.
+					emitQuery()
+					if floodErr != nil {
+						errs.set(floodErr)
+						return
 					}
-					if rec.Malware != "" {
-						tl.malware++
-						ftMet.malware.Inc()
+					tr.QueriesSent[dataset.OpenFT]++
+					tl.queries++
+					tl.responses += len(out)
+					ftMet.queries.Inc()
+					ftMet.responses.Add(int64(len(out)))
+					trace.EmitAt(now, "responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(out))))
+					for _, d := range out {
+						rec := d.rec
+						if rec.Downloadable {
+							attrs := []obs.Attr{
+								obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
+								obs.String("file", rec.Filename),
+								obs.Int("size", rec.BodySize),
+								obs.String("verdict", downloadVerdict(&rec)),
+							}
+							if s.cfg.TraceWallLatency {
+								attrs = append(attrs, obs.Int("wall_us", d.wallUS))
+							}
+							trace.EmitAt(now, "download", attrs...)
+							if rec.DownloadError != "" {
+								ftMet.downloadsErr.Inc()
+							} else {
+								ftMet.downloadsOK.Inc()
+							}
+							if rec.Malware != "" {
+								tl.malware++
+								ftMet.malware.Inc()
+							}
+						}
+						tr.Add(rec)
 					}
-				}
-				tr.Add(rec)
-			}
-			if (i+1)%500 == 0 {
-				s.progress("openft: %d/%d queries, %d records", i+1, total, len(tr.Records))
-			}
+					if (i+1)%500 == 0 {
+						s.progress("openft: %d/%d queries, %d records", i+1, total, len(tr.Records))
+					}
+				},
+			})
 		})
 	}
-	s.scheduleProgress(clock, trace, "openft", &tl)
+	s.scheduleProgress(clock, trace, "openft", &tl, pl.barrier)
 	clock.Run(0)
-	return firstErr
+	pl.stop()
+	return errs.get()
 }
 
 // sortFTResults orders drained search results by stable response identity
@@ -209,24 +286,14 @@ func sortFTResults(results []openft.SearchResp) {
 	})
 }
 
-// downloadOpenFT fetches a result by MD5 from the sharing user and scans
-// it.
-func (s *Study) downloadOpenFT(net_ *netsim.OpenFTNet, rec *dataset.ResponseRecord, r openft.SearchResp, cache *downloadCache) {
+// fetchOpenFT fetches a result by MD5 from the sharing user and returns
+// its labelled verdict, deduplicated per (hash, host) with singleflight
+// semantics.
+func (s *Study) fetchOpenFT(net_ *netsim.OpenFTNet, rec *dataset.ResponseRecord, r openft.SearchResp, cache *fetchCache) fetchResult {
 	key := "md5/" + r.MD5 + "@" + rec.SourceIP
-	if body, ok := cache.get(key); ok {
-		s.labelDownload(rec, body, nil)
-		return
-	}
-	if err, ok := cache.getErr(key); ok {
-		s.labelDownload(rec, nil, err)
-		return
-	}
 	addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
-	body, err := openft.Download(net_.Mem, addr, r.MD5)
-	if err == nil {
-		cache.put(key, body)
-	} else {
-		cache.putErr(key, err)
-	}
-	s.labelDownload(rec, body, err)
+	return cache.do(key, func() fetchResult {
+		body, err := openft.Download(net_.Mem, addr, r.MD5)
+		return s.labelFetch(body, err)
+	})
 }

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/scanner"
+	"p2pmalware/internal/simclock"
+)
+
+// The pipelined study engine splits each network's per-query work into
+// four stages:
+//
+//  1. Issue (virtual-clock goroutine): draw the query term — the
+//     generator stream must advance in issue order — and submit a task.
+//     The callback returns without waiting, so the clock immediately
+//     fires the next query.
+//  2. Collect (single collector goroutine): register a per-query
+//     collector keyed by the search identifier, flood the query, wait
+//     for the response stream to settle, and sort the hits into stable
+//     identity order. Collection is strictly serialized in issue order:
+//     simulated responders consume per-host random streams as queries
+//     arrive (an echo host draws its decoy filename per query), so two
+//     floods in flight at once would permute those draws and change
+//     response *content*, not just order.
+//  3. Fetch (bounded worker pool): download each downloadable hit
+//     through the deduplicating fetch cache and scan it. Query N+1's
+//     flood and settle wait overlap query N's downloads and scans —
+//     downloads only read per-file static content, so they cannot
+//     perturb later queries' responses.
+//  4. Commit (single committer goroutine): in submission order, stamp
+//     the deferred trace events with the query's virtual timestamp and
+//     append records — so the trace is byte-identical to the sequential
+//     engine's regardless of worker count.
+//
+// Day-boundary churn and periodic progress callbacks call barrier() first,
+// which drains the pipeline: they observe (and are ordered in the trace
+// after) every earlier query, exactly as in the sequential engine.
+
+// pipeTask is one query's deferred work.
+type pipeTask struct {
+	// collect executes stage 2 on the collector goroutine.
+	collect func()
+	// run executes stage 3 in a worker.
+	run func()
+	// commit executes stage 4 on the committer goroutine.
+	commit func()
+	// ready closes when run has finished.
+	ready chan struct{}
+}
+
+// pipeline is the bounded worker pool plus in-order committer shared by
+// both network runners.
+type pipeline struct {
+	collect chan *pipeTask
+	work    chan *pipeTask
+	commitq chan *pipeTask // tasks in submission (= commit) order
+	met     *netMetrics
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	submitted int // guarded by mu
+	committed int // guarded by mu
+
+	workers  sync.WaitGroup
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// newPipeline starts the collector, workers, and the committer. workers
+// must be >= 1.
+func newPipeline(workers int, met *netMetrics) *pipeline {
+	p := &pipeline{
+		collect: make(chan *pipeTask, 2*workers),
+		work:    make(chan *pipeTask, 2*workers),
+		commitq: make(chan *pipeTask, 2*workers),
+		met:     met,
+		done:    make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go func() {
+		defer close(p.work)
+		for t := range p.collect {
+			t.collect()
+			p.work <- t
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for t := range p.work {
+				t.run()
+				close(t.ready)
+			}
+		}()
+	}
+	go func() {
+		defer close(p.done)
+		for t := range p.commitq {
+			waitStart := wallClock.Now()
+			<-t.ready
+			met.stageCommitWait.ObserveDuration(simclock.Since(wallClock, waitStart))
+			t.commit()
+			met.inflight.Add(-1)
+			p.mu.Lock()
+			p.committed++
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}()
+	return p
+}
+
+// submit enqueues one task. Must be called from the virtual-clock
+// goroutine only; submission order is commit order. Blocks when the
+// pipeline is at capacity, which throttles query issuance.
+func (p *pipeline) submit(t *pipeTask) {
+	t.ready = make(chan struct{})
+	p.mu.Lock()
+	p.submitted++
+	p.mu.Unlock()
+	p.met.inflight.Inc()
+	p.commitq <- t
+	p.collect <- t
+}
+
+// barrier blocks until every submitted task has committed. Called from the
+// virtual-clock goroutine before churn mutates the network and before
+// progress events read the tally, preserving the sequential engine's
+// ordering at those points.
+func (p *pipeline) barrier() {
+	p.mu.Lock()
+	for p.committed < p.submitted {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// stop drains the pipeline and joins its goroutines. Idempotent; safe
+// after a partial run.
+func (p *pipeline) stop() {
+	p.stopOnce.Do(func() {
+		close(p.collect) // collector drains, then closes work
+		close(p.commitq)
+		p.workers.Wait()
+		<-p.done
+	})
+}
+
+// settler is the sync.Cond-based replacement for the old busy-poll
+// collector wait: responders signal arrival, and the settle loop sleeps
+// exactly until the quiesce window can next expire instead of polling at
+// quiesce/5. One settler serves one query.
+type settler struct {
+	clock simclock.Clock // always simclock.Real; a field so tests could stub it
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int       // responses so far; guarded by mu
+	last    time.Time // arrival time of the latest response; guarded by mu
+	wakerAt time.Time // earliest pending waker, zero if none; guarded by mu
+}
+
+func newSettler(clock simclock.Clock) *settler {
+	s := &settler{clock: clock}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// arrived records one response arrival and wakes the settle loop.
+func (s *settler) arrived() {
+	s.mu.Lock()
+	s.n++
+	s.last = s.clock.Now()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// settle blocks until the response stream has been idle for quiesce, or —
+// when nothing has arrived at all — until the first response or maxWait,
+// whichever comes first. (The old drain imposed a 4*quiesce floor on
+// unanswered queries; now they simply wait out maxWait, and the pipeline
+// overlaps that wait with other queries' work.)
+func (s *settler) settle(quiesce, maxWait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deadline := s.clock.Now().Add(maxWait)
+	for {
+		now := s.clock.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if s.n > 0 {
+			quiet := s.last.Add(quiesce)
+			if !now.Before(quiet) {
+				return
+			}
+			s.wakeAt(quiet, deadline)
+		} else {
+			s.wakeAt(deadline, deadline)
+		}
+		s.cond.Wait()
+	}
+}
+
+// wakeAt arms a waker goroutine that broadcasts at target (clamped to
+// deadline), unless an already-armed waker fires no later. Called with mu
+// held.
+func (s *settler) wakeAt(target, deadline time.Time) {
+	if target.After(deadline) {
+		target = deadline
+	}
+	if !s.wakerAt.IsZero() && !s.wakerAt.After(target) {
+		return
+	}
+	s.wakerAt = target
+	d := target.Sub(s.clock.Now())
+	go func() {
+		simclock.Sleep(s.clock, d)
+		s.mu.Lock()
+		if s.wakerAt.Equal(target) {
+			s.wakerAt = time.Time{}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+}
+
+// fetchResult is a finished download+scan verdict: everything a record
+// needs, with the body itself already dropped.
+type fetchResult struct {
+	err    error
+	hash   string
+	size   int64
+	family string
+}
+
+// labelFetch scans a fetched body once — the MD5 is shared between the
+// scan memo key and the record's content identity — and condenses it to a
+// fetchResult.
+func (s *Study) labelFetch(body []byte, err error) fetchResult {
+	if err != nil {
+		return fetchResult{err: err}
+	}
+	sum, ds := s.engine.ScanSum(body)
+	res := fetchResult{hash: scanner.HexSum(sum), size: int64(len(body))}
+	if len(ds) > 0 {
+		res.family = ds[0].Family
+	}
+	return res
+}
+
+// applyResult fills the download-related record fields the way the
+// sequential engine's labelDownload did.
+func applyResult(rec *dataset.ResponseRecord, res fetchResult) {
+	if res.err != nil {
+		rec.DownloadError = res.err.Error()
+		return
+	}
+	rec.Downloaded = true
+	rec.BodyHash = res.hash
+	rec.BodySize = res.size
+	rec.Malware = res.family
+}
+
+// fetchCache deduplicates downloads per cache key with singleflight
+// semantics: concurrent requests for one key share a single fetch+scan,
+// which both saves work and keeps push-callback registrations (keyed by
+// servent and index) from colliding across workers.
+type fetchCache struct {
+	mu      sync.Mutex
+	entries map[string]*fetchEntry // guarded by mu
+}
+
+type fetchEntry struct {
+	ready chan struct{}
+	res   fetchResult
+}
+
+func newFetchCache() *fetchCache {
+	return &fetchCache{entries: make(map[string]*fetchEntry)}
+}
+
+// do returns the cached result for key, fetching and labelling it via
+// fetch+label on first use. Duplicate concurrent callers block until the
+// first finishes.
+func (c *fetchCache) do(key string, fetch func() fetchResult) fetchResult {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.res
+	}
+	e := &fetchEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	e.res = fetch()
+	close(e.ready)
+	return e.res
+}
+
+// errBox carries the first fatal error across the pipeline's goroutines:
+// workers and the committer store, clock callbacks poll.
+type errBox struct {
+	mu    sync.Mutex
+	first error // first error stored; guarded by mu
+}
+
+func (b *errBox) set(err error) {
+	b.mu.Lock()
+	if b.first == nil {
+		b.first = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *errBox) get() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.first
+}
+
+// keyedLocks hands out one mutex per key, for serializing operations that
+// share hidden per-key state (push-callback registrations).
+type keyedLocks struct {
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex // guarded by mu
+}
+
+func newKeyedLocks() *keyedLocks {
+	return &keyedLocks{locks: make(map[string]*sync.Mutex)}
+}
+
+// lock acquires the mutex for key and returns its unlock function.
+func (k *keyedLocks) lock(key string) func() {
+	k.mu.Lock()
+	m := k.locks[key]
+	if m == nil {
+		m = new(sync.Mutex)
+		k.locks[key] = m
+	}
+	k.mu.Unlock()
+	m.Lock()
+	return m.Unlock
+}

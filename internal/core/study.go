@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -52,6 +53,11 @@ type StudyConfig struct {
 	// nondeterministic, and enabling it breaks byte-identical traces
 	// across same-seed runs.
 	TraceWallLatency bool
+	// Workers sizes each network's download/scan worker pool (default
+	// GOMAXPROCS). The trace is byte-identical for any worker count: the
+	// committer re-serializes results into issue order before any record
+	// or event is appended.
+	Workers int
 	// LimeWire configures the Gnutella universe; nil skips the network.
 	LimeWire *netsim.LimeWireConfig
 	// OpenFT configures the OpenFT universe; nil skips the network.
@@ -75,6 +81,9 @@ func (c *StudyConfig) applyDefaults() {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.Epoch.IsZero() {
 		c.Epoch = simclock.DefaultEpoch
@@ -203,8 +212,9 @@ func (s *Study) progress(format string, args ...any) {
 
 // scheduleProgress emits periodic progress lines and trace events on the
 // network's virtual clock. Call it after the query events are scheduled so
-// that at a shared timestamp the queries fire first and are counted.
-func (s *Study) scheduleProgress(clock *simclock.Virtual, trace *obs.Tracer, network string, tl *tally) {
+// that at a shared timestamp the queries fire first and are counted;
+// barrier drains the pipeline so the tally reflects every earlier query.
+func (s *Study) scheduleProgress(clock *simclock.Virtual, trace *obs.Tracer, network string, tl *tally, barrier func()) {
 	if s.cfg.ProgressEvery <= 0 {
 		return
 	}
@@ -212,6 +222,7 @@ func (s *Study) scheduleProgress(clock *simclock.Virtual, trace *obs.Tracer, net
 	for at := s.cfg.ProgressEvery; at <= span; at += s.cfg.ProgressEvery {
 		at := at
 		clock.Schedule(at, func(now time.Time) {
+			barrier()
 			day := float64(at) / float64(24*time.Hour)
 			trace.Emit("progress",
 				obs.Float("day", day),

@@ -658,10 +658,18 @@ func (n *Node) handleRouteTable(pc *peerConn, m *Message) error {
 // Config.OnQueryHit.
 func (n *Node) Query(criteria string, extensions string) (guid.GUID, error) {
 	g := guid.New()
+	return g, n.QueryWith(g, criteria, extensions)
+}
+
+// QueryWith floods a keyword search under a caller-supplied GUID. Callers
+// that demultiplex hits by GUID (the pipelined study engine) mint the GUID
+// first, register their collector, and only then flood — so the first hit
+// cannot race the registration.
+func (n *Node) QueryWith(g guid.GUID, criteria string, extensions string) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return g, errors.New("gnutella: node closed")
+		return errors.New("gnutella: node closed")
 	}
 	n.myQueries[g] = true
 	targets := make([]*peerConn, 0, len(n.peers))
@@ -672,14 +680,14 @@ func (n *Node) Query(criteria string, extensions string) (guid.GUID, error) {
 	}
 	n.mu.Unlock()
 	if len(targets) == 0 {
-		return g, errors.New("gnutella: no peers to query")
+		return errors.New("gnutella: no peers to query")
 	}
 	q := Query{MinSpeed: 0, Criteria: criteria, Extensions: extensions}
 	m := &Message{GUID: g, Type: MsgQuery, TTL: DefaultTTL, Hops: 0, Payload: q.Encode()}
 	for _, pc := range targets {
 		pc.send(m)
 	}
-	return g, nil
+	return nil
 }
 
 // Ping sends a TTL-1 ping on every connection (liveness probe).

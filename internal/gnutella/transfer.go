@@ -2,7 +2,6 @@ package gnutella
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"p2pmalware/internal/bufpool"
 	"p2pmalware/internal/guid"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/simclock"
@@ -40,33 +40,38 @@ var (
 const MaxTransferSize = 64 << 20
 
 // readBody reads a response body whose length the peer advertised,
-// clamped against MaxTransferSize and streamed via io.CopyN rather than
-// allocated in one shot; peerLen < 0 (no Content-Length header) reads to
-// EOF under the same cap.
+// clamped against MaxTransferSize before any allocation; peerLen < 0 (no
+// Content-Length header) reads to EOF under the same cap through a pooled
+// staging buffer.
 func readBody(br *bufio.Reader, peerLen int64) ([]byte, error) {
 	if peerLen > MaxTransferSize {
 		met.clamped.Inc()
 		return nil, fmt.Errorf("gnutella: content length %d exceeds transfer cap %d", peerLen, int64(MaxTransferSize))
 	}
 	if peerLen < 0 {
-		b, err := io.ReadAll(io.LimitReader(br, MaxTransferSize))
-		if err == nil {
-			met.bytesIn.Add(int64(len(b)))
+		stage := bufpool.GetBuffer()
+		defer bufpool.PutBuffer(stage)
+		if _, err := io.Copy(stage, io.LimitReader(br, MaxTransferSize)); err != nil {
+			return nil, fmt.Errorf("gnutella: download body: %w", err)
 		}
-		return b, err
+		b := make([]byte, stage.Len())
+		copy(b, stage.Bytes())
+		met.bytesIn.Add(int64(len(b)))
+		return b, nil
 	}
-	var buf bytes.Buffer
-	if _, err := io.CopyN(&buf, br, peerLen); err != nil {
+	body := make([]byte, peerLen)
+	if _, err := io.ReadFull(br, body); err != nil {
 		return nil, fmt.Errorf("gnutella: download body: %w", err)
 	}
 	met.bytesIn.Add(peerLen)
-	return buf.Bytes(), nil
+	return body, nil
 }
 
 func (n *Node) serveHTTP(c net.Conn) {
 	defer c.Close()
 	c.SetDeadline(ioDeadline(30 * time.Second))
-	br := bufio.NewReader(c)
+	br := bufpool.GetReader(c)
+	defer bufpool.PutReader(br)
 	n.serveOneHTTP(c, br)
 }
 
@@ -220,7 +225,9 @@ func Download(tr p2p.Transport, addr string, index uint32, name string) ([]byte,
 	}
 	defer c.Close()
 	c.SetDeadline(ioDeadline(30 * time.Second))
-	return httpGet(c, bufio.NewReader(c), index, name)
+	br := bufpool.GetReader(c)
+	defer bufpool.PutReader(br)
+	return httpGet(c, br, index, name)
 }
 
 // httpGet issues the GET for a file on an established connection and reads
@@ -293,7 +300,8 @@ func DownloadRange(tr p2p.Transport, addr string, index uint32, name string, off
 	if _, err := fmt.Fprintf(c, "GET %s HTTP/1.1\r\nUser-Agent: SimShare/1.0\r\nRange: %s\r\nConnection: close\r\n\r\n", path, rangeSpec); err != nil {
 		return nil, fmt.Errorf("gnutella: download write: %w", err)
 	}
-	br := bufio.NewReader(c)
+	br := bufpool.GetReader(c)
+	defer bufpool.PutReader(br)
 	status, err := br.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("gnutella: download status: %w", err)
@@ -364,7 +372,9 @@ func (n *Node) DownloadViaPush(serventID guid.GUID, index uint32, name string, t
 	case c := <-ch:
 		defer c.Close()
 		c.SetDeadline(ioDeadline(30 * time.Second))
-		return httpGet(c, bufio.NewReader(c), index, name)
+		br := bufpool.GetReader(c)
+		defer bufpool.PutReader(br)
+		return httpGet(c, br, index, name)
 	case <-simclock.After(ioClock, timeout):
 		return nil, ErrPushWait
 	}

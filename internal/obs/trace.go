@@ -67,10 +67,21 @@ func (t *Tracer) Emit(name string, attrs ...Attr) {
 	if t == nil {
 		return
 	}
-	now := t.clock.Now()
+	t.EmitAt(t.clock.Now(), name, attrs...)
+}
+
+// EmitAt records one event at an explicit trace timestamp. The pipelined
+// study committer uses it to stamp deferred events with the originating
+// query's virtual time after the clock has already advanced. Seq still
+// reflects emission order within the tracer, so callers that need a
+// deterministic stream must emit in the intended stream order.
+func (t *Tracer) EmitAt(at time.Time, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
 	t.mu.Lock()
 	t.seq++
-	t.events = append(t.events, Event{Time: now, Scope: t.scope, Seq: t.seq, Name: name, Attrs: attrs})
+	t.events = append(t.events, Event{Time: at, Scope: t.scope, Seq: t.seq, Name: name, Attrs: attrs})
 	t.mu.Unlock()
 }
 

@@ -725,15 +725,27 @@ func shareMatches(sh Share, query string) bool {
 // Search issues a search through every connected SEARCH parent and returns
 // the search ID; results stream to Config.OnSearchResult.
 func (n *Node) Search(query string) (uint32, error) {
+	id := NewSearchID()
+	return id, n.SearchWith(id, query)
+}
+
+// NewSearchID mints a fresh search ID without sending anything. Search IDs
+// must be unique across the whole simulated universe so the SEARCH-tier
+// dedup and response routing never conflate two searches; a process-wide
+// counter guarantees that deterministically.
+func NewSearchID() uint32 {
+	return globalSearchID.Add(1)
+}
+
+// SearchWith issues a search under a caller-minted ID (see NewSearchID).
+// Callers that demultiplex results by ID register their collector before
+// sending, so the first result cannot race the registration.
+func (n *Node) SearchWith(id uint32, query string) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return 0, errors.New("openft: node closed")
+		return errors.New("openft: node closed")
 	}
-	// Search IDs must be unique across the whole simulated universe so the
-	// SEARCH-tier dedup and response routing never conflate two searches;
-	// a process-wide counter guarantees that deterministically.
-	id := globalSearchID.Add(1)
 	n.mySearches[id] = true
 	var parents []*session
 	for s := range n.sessions {
@@ -743,15 +755,15 @@ func (n *Node) Search(query string) (uint32, error) {
 	}
 	n.mu.Unlock()
 	if len(parents) == 0 {
-		return 0, errors.New("openft: no search parents")
+		return errors.New("openft: no search parents")
 	}
 	req := SearchReq{ID: id, TTL: n.cfg.SearchTTL, Query: query}
 	for _, s := range parents {
 		if err := s.send(req.Encode()); err != nil {
-			return 0, err
+			return err
 		}
 	}
-	return id, nil
+	return nil
 }
 
 // Close shuts the node down.

@@ -2,7 +2,6 @@ package openft
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"p2pmalware/internal/bufpool"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/simclock"
 )
@@ -31,26 +31,31 @@ var ErrNotFound = errors.New("openft: file not found")
 const MaxTransferSize = 64 << 20
 
 // readBody reads a response body whose length the peer advertised,
-// clamped against MaxTransferSize and streamed via io.CopyN; peerLen < 0
-// (no Content-Length header) reads to EOF under the same cap.
+// clamped against MaxTransferSize before any allocation; peerLen < 0 (no
+// Content-Length header) reads to EOF under the same cap through a pooled
+// staging buffer.
 func readBody(br *bufio.Reader, peerLen int64) ([]byte, error) {
 	if peerLen > MaxTransferSize {
 		met.clamped.Inc()
 		return nil, fmt.Errorf("openft: content length %d exceeds transfer cap %d", peerLen, int64(MaxTransferSize))
 	}
 	if peerLen < 0 {
-		body, err := io.ReadAll(io.LimitReader(br, MaxTransferSize))
-		if err == nil {
-			met.bytesIn.Add(int64(len(body)))
+		stage := bufpool.GetBuffer()
+		defer bufpool.PutBuffer(stage)
+		if _, err := io.Copy(stage, io.LimitReader(br, MaxTransferSize)); err != nil {
+			return nil, fmt.Errorf("openft: download body: %w", err)
 		}
-		return body, err
+		body := make([]byte, stage.Len())
+		copy(body, stage.Bytes())
+		met.bytesIn.Add(int64(len(body)))
+		return body, nil
 	}
-	var buf bytes.Buffer
-	if _, err := io.CopyN(&buf, br, peerLen); err != nil {
+	body := make([]byte, peerLen)
+	if _, err := io.ReadFull(br, body); err != nil {
 		return nil, fmt.Errorf("openft: download body: %w", err)
 	}
 	met.bytesIn.Add(peerLen)
-	return buf.Bytes(), nil
+	return body, nil
 }
 
 func (n *Node) serveHTTP(c net.Conn, br *bufio.Reader) {
@@ -121,7 +126,8 @@ func download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
 	if _, err := fmt.Fprintf(c, "GET /md5/%s HTTP/1.1\r\nConnection: close\r\n\r\n", md5sum); err != nil {
 		return nil, fmt.Errorf("openft: download write: %w", err)
 	}
-	br := bufio.NewReader(c)
+	br := bufpool.GetReader(c)
+	defer bufpool.PutReader(br)
 	status, err := br.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("openft: download status: %w", err)

@@ -1,0 +1,197 @@
+package scanner
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"p2pmalware/internal/archive"
+	"p2pmalware/internal/malware"
+	"p2pmalware/internal/stats"
+)
+
+// TestAutomatonMatchesContainsReference cross-checks the Aho–Corasick
+// automaton against the bytes.Contains semantics it replaced, over inputs
+// chosen to exercise overlap, shared prefixes, and failure transitions.
+func TestAutomatonMatchesContainsReference(t *testing.T) {
+	t.Parallel()
+	patterns := [][]byte{
+		[]byte("abcd"),
+		[]byte("abce"),             // shared prefix with abcd
+		[]byte("bcda"),             // overlaps a match of abcd
+		[]byte("cdab"),             // forces failure-link traversal
+		[]byte("aaaa"),             // self-overlapping
+		[]byte("aaaaa"),            // superstring of aaaa
+		[]byte("\x00\x01\x02\x03"), // binary
+	}
+	inputs := [][]byte{
+		nil,
+		[]byte("abcd"),
+		[]byte("abcdabce"),
+		[]byte("xxabcdayy"), // abcd then bcda overlapping
+		[]byte("aaaaaa"),
+		[]byte("aaa"),
+		[]byte("cdabcd"),
+		bytes.Repeat([]byte("abc"), 100),
+		append(bytes.Repeat([]byte{0}, 50), 1, 2, 3),
+	}
+	m := newACMatcher(patterns)
+	for _, in := range inputs {
+		got := make(map[int32]bool)
+		m.match(in, func(p int32) { got[p] = true })
+		for pi, p := range patterns {
+			want := bytes.Contains(in, p)
+			if got[int32(pi)] != want {
+				t.Errorf("input %q pattern %q: automaton=%v contains=%v",
+					in, p, got[int32(pi)], want)
+			}
+		}
+	}
+}
+
+// TestAutomatonAgainstCatalogCorpus fuzzes the full catalog-built automaton
+// against the reference loop on random data with specimens spliced in.
+func TestAutomatonAgainstCatalogCorpus(t *testing.T) {
+	t.Parallel()
+	e := groundTruth(t)
+	rng := stats.NewRNG(7, 7)
+	for trial := 0; trial < 20; trial++ {
+		data := make([]byte, 4096)
+		rng.Fill(data)
+		if trial%2 == 0 {
+			// Splice a real signature into the noise.
+			sig := e.patterns[trial%len(e.patterns)].Data
+			copy(data[trial*100:], sig)
+		}
+		got := make(map[string]bool)
+		e.ac.match(data, func(p int32) { got[e.patterns[p].Family] = true })
+		for _, s := range e.patterns {
+			if want := bytes.Contains(data, s.Data); got[s.Family] != want {
+				t.Fatalf("trial %d family %s: automaton=%v contains=%v",
+					trial, s.Family, got[s.Family], want)
+			}
+		}
+	}
+}
+
+// TestScanMemoReturnsIdenticalVerdicts checks that a memoized re-scan of
+// the same content — directly and inside archives at different depths —
+// reports exactly what the cold scan did.
+func TestScanMemoReturnsIdenticalVerdicts(t *testing.T) {
+	t.Parallel()
+	e := groundTruth(t)
+	f := malware.LimeWireCatalog().Families[0]
+	spec, err := f.Specimen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := e.Scan(spec)
+	warm := e.Scan(spec)
+	if len(cold) == 0 {
+		t.Fatal("specimen not detected")
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("memoized scan differs: cold=%+v warm=%+v", cold, warm)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("memoized scan differs at %d: cold=%+v warm=%+v", i, cold[i], warm[i])
+		}
+	}
+	// The same specimen reached through an archive must be re-rooted under
+	// the member path, not replayed with the bare-specimen path.
+	z, err := archive.Build([]archive.Member{{Name: "dir/evil.exe", Data: spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nested bool
+	for _, d := range e.Scan(z) {
+		if d.Family == f.Name && d.Path == "dir/evil.exe" {
+			nested = true
+		}
+		if d.Path == "" && d.Family == f.Name {
+			// The archive bytes themselves still show the marker (stored,
+			// not compressed), so a top-level pattern hit is legitimate —
+			// but it must not carry the cached member-relative path.
+			continue
+		}
+	}
+	if !nested {
+		t.Fatal("memoized member verdict not rebased under archive path")
+	}
+	// Returned slices must be caller-owned: mutating one scan's result
+	// must not corrupt later scans of the same content.
+	first := e.Scan(spec)
+	first[0] = Detection{Family: "CLOBBERED", Path: "x"}
+	second := e.Scan(spec)
+	if second[0].Family == "CLOBBERED" {
+		t.Fatal("scan result aliases the shared memo entry")
+	}
+}
+
+// TestScanMemoDepthBudget verifies that caching a deep archive scanned
+// with an exhausted recursion budget does not mask detections when the
+// same bytes are later scanned with budget to spare.
+func TestScanMemoDepthBudget(t *testing.T) {
+	t.Parallel()
+	e := groundTruth(t)
+	f := malware.LimeWireCatalog().Families[0]
+	spec, _ := f.Specimen(0)
+	// inner hides the specimen one compressed layer down.
+	inner, err := archive.BuildCompressed([]archive.Member{{Name: "x.exe", Data: spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bury inner so it is first scanned at the recursion floor (budget 0).
+	deep := inner
+	for i := 0; i < MaxArchiveDepth; i++ {
+		deep, err = archive.BuildCompressed([]archive.Member{{Name: "layer.zip", Data: deep}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := e.Infected(deep); ok {
+		t.Fatal("detection beyond depth limit")
+	}
+	// Now scan inner at the top level: full budget, must detect, even
+	// though the same bytes were just scanned (and memoized) at budget 0.
+	if fam, ok := e.Infected(inner); !ok || fam != f.Name {
+		t.Fatalf("budget-0 memo entry masked top-level detection: %v %v", fam, ok)
+	}
+}
+
+// TestScanConcurrent hammers one engine from many goroutines; run with
+// -race this doubles as the memo's synchronization test.
+func TestScanConcurrent(t *testing.T) {
+	t.Parallel()
+	e := groundTruth(t)
+	cat := malware.LimeWireCatalog()
+	specs := make([][]byte, 0, len(cat.Families))
+	for _, f := range cat.Families {
+		s, err := f.Specimen(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	clean := bytes.Repeat([]byte("benign content "), 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := specs[(g+i)%len(specs)]
+				if _, ok := e.Infected(s); !ok {
+					t.Errorf("goroutine %d iter %d: specimen missed", g, i)
+					return
+				}
+				if _, ok := e.Infected(clean); ok {
+					t.Errorf("goroutine %d iter %d: clean flagged", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,9 @@
 package scanner
 
 import (
+	"bytes"
+	"crypto/md5"
+	"sort"
 	"testing"
 
 	"p2pmalware/internal/archive"
@@ -41,6 +44,125 @@ func BenchmarkScanSpecimen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, bad := e.Infected(spec); !bad {
 			b.Fatal("specimen missed")
+		}
+	}
+}
+
+// legacyScan reproduces the pre-automaton engine verbatim — one
+// bytes.Contains pass per pattern signature plus an MD5 per layer, no
+// memoization — as the baseline for the old-vs-new benchmark pair.
+func legacyScan(e *Engine, data []byte) []Detection {
+	found := make(map[Detection]bool)
+	legacyScanInto(e, data, "", 0, found)
+	out := make([]Detection, 0, len(found))
+	for d := range found {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+func legacyScanInto(e *Engine, data []byte, path string, depth int, found map[Detection]bool) {
+	d := md5.Sum(data)
+	if fam, ok := e.hashes[d]; ok {
+		found[Detection{Family: fam, Path: path}] = true
+	}
+	for _, s := range e.patterns {
+		if bytes.Contains(data, s.Data) {
+			found[Detection{Family: s.Family, Path: path}] = true
+		}
+	}
+	if depth >= e.maxDepth || !archive.IsZip(data) {
+		return
+	}
+	members, err := archive.Extract(data)
+	if err != nil {
+		return
+	}
+	for _, m := range members {
+		sub := m.Name
+		if path != "" {
+			sub = path + "/" + m.Name
+		}
+		legacyScanInto(e, m.Data, sub, depth+1, found)
+	}
+}
+
+// multiSigArchive builds the archive-bearing payload for the old-vs-new
+// pair: several specimens from different families plus clean bulk, so the
+// scan exercises many signatures across archive members.
+func multiSigArchive(b *testing.B) []byte {
+	b.Helper()
+	cat := malware.LimeWireCatalog()
+	pad := make([]byte, 256<<10)
+	stats.NewRNG(3, 9).Fill(pad)
+	members := []archive.Member{{Name: "pad.bin", Data: pad}}
+	for i := 0; i < 4 && i < len(cat.Families); i++ {
+		spec, err := cat.Families[i].Specimen(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		members = append(members, archive.Member{Name: cat.Families[i].Name + ".exe", Data: spec})
+	}
+	z, err := archive.BuildCompressed(members)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return z
+}
+
+// BenchmarkScanMultiSigLegacy is the pre-PR scanner on an archive-bearing
+// multi-signature payload; BenchmarkScanMultiSigEngine is the shipping
+// engine (automaton + memo) on the same bytes. Their ratio is the
+// scanner-speedup acceptance number recorded in BENCH_4.json.
+func BenchmarkScanMultiSigLegacy(b *testing.B) {
+	e := benchEngine(b)
+	z := multiSigArchive(b)
+	b.SetBytes(int64(len(z)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ds := legacyScan(e, z); len(ds) < 4 {
+			b.Fatalf("legacy scan found %d detections, want >= 4", len(ds))
+		}
+	}
+}
+
+func BenchmarkScanMultiSigEngine(b *testing.B) {
+	e := benchEngine(b)
+	z := multiSigArchive(b)
+	b.SetBytes(int64(len(z)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ds := e.Scan(z); len(ds) < 4 {
+			b.Fatalf("engine scan found %d detections, want >= 4", len(ds))
+		}
+	}
+}
+
+// BenchmarkScanMultiSigEngineCold isolates the automaton win from the memo
+// win by scanning through a fresh engine every iteration.
+func BenchmarkScanMultiSigEngineCold(b *testing.B) {
+	proto := benchEngine(b)
+	z := multiSigArchive(b)
+	b.SetBytes(int64(len(z)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := &Engine{
+			patterns: proto.patterns,
+			ac:       proto.ac,
+			hashes:   proto.hashes,
+			maxDepth: proto.maxDepth,
+			memo:     make(map[memoKey][]Detection),
+		}
+		b.StartTimer()
+		if ds := e.Scan(z); len(ds) < 4 {
+			b.Fatalf("cold engine scan found %d detections, want >= 4", len(ds))
 		}
 	}
 }

@@ -7,14 +7,19 @@
 // decompressed size) the way real AV engines do. Ground truth for the
 // synthetic corpus comes from building the database out of the malware
 // catalog's family signatures.
+//
+// All pattern signatures are compiled into a single Aho–Corasick automaton
+// in New, so a scan makes one pass over each payload regardless of the
+// signature count, and verdicts for previously seen content (keyed by the
+// MD5 already computed for trace identity) are memoized per engine.
 package scanner
 
 import (
-	"bytes"
 	"crypto/md5"
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"p2pmalware/internal/archive"
@@ -53,12 +58,29 @@ type Detection struct {
 	Path string
 }
 
+// memoKey identifies a scanned specimen: its content digest plus how much
+// archive-recursion budget the scan had. Verdicts for non-archive content
+// never depend on the budget, so those entries normalize it to zero and
+// one memo entry serves every depth.
+type memoKey struct {
+	sum    [md5.Size]byte
+	budget int
+}
+
 // Engine is a compiled signature database. Engines are immutable after
-// construction and safe for concurrent use.
+// construction — the memo cache is internally synchronized — and safe for
+// concurrent use.
 type Engine struct {
 	patterns []Signature
+	ac       *acMatcher
 	hashes   map[[md5.Size]byte]string // digest -> family
 	maxDepth int
+
+	memoMu sync.RWMutex
+	// memo maps specimen identity to its finished verdict. Entries hold
+	// subtree-relative paths ("" = the specimen itself) and are treated as
+	// immutable once stored; readers copy or rebase, never mutate.
+	memo map[memoKey][]Detection
 }
 
 // MaxArchiveDepth is how deep the engine recurses into nested archives.
@@ -66,7 +88,11 @@ const MaxArchiveDepth = 3
 
 // New compiles a database from the given signatures.
 func New(sigs []Signature) (*Engine, error) {
-	e := &Engine{hashes: make(map[[md5.Size]byte]string), maxDepth: MaxArchiveDepth}
+	e := &Engine{
+		hashes:   make(map[[md5.Size]byte]string),
+		maxDepth: MaxArchiveDepth,
+		memo:     make(map[memoKey][]Detection),
+	}
 	for _, s := range sigs {
 		if s.Family == "" {
 			return nil, fmt.Errorf("scanner: signature with empty family")
@@ -88,6 +114,11 @@ func New(sigs []Signature) (*Engine, error) {
 			return nil, fmt.Errorf("scanner: unknown signature kind %d for %s", s.Kind, s.Family)
 		}
 	}
+	pats := make([][]byte, len(e.patterns))
+	for i := range e.patterns {
+		pats[i] = e.patterns[i].Data
+	}
+	e.ac = newACMatcher(pats)
 	return e, nil
 }
 
@@ -120,28 +151,26 @@ func (e *Engine) NumSignatures() int { return len(e.patterns) + len(e.hashes) }
 // A scan error on a nested archive is not fatal: corrupt archives simply
 // yield no nested detections, like a real engine skipping a broken file.
 func (e *Engine) Scan(data []byte) []Detection {
+	_, ds := e.ScanSum(data)
+	return ds
+}
+
+// ScanSum scans like Scan and additionally returns the MD5 of data, so
+// callers that also need the content identity (trace records, memo keys)
+// hash each payload exactly once.
+func (e *Engine) ScanSum(data []byte) ([md5.Size]byte, []Detection) {
 	start := time.Now()
-	found := make(map[Detection]bool)
-	e.scan(data, "", 0, found)
+	sum, memoized := e.scanMemo(data, e.maxDepth)
 	met.bytesScanned.Add(int64(len(data)))
 	met.scanDur.ObserveDuration(time.Since(start))
-	met.detections.Add(int64(len(found)))
-	if len(found) == 0 {
+	met.detections.Add(int64(len(memoized)))
+	if len(memoized) == 0 {
 		met.scansClean.Inc()
-	} else {
-		met.scansInfected.Inc()
+		return sum, nil
 	}
-	out := make([]Detection, 0, len(found))
-	for d := range found {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Family != out[j].Family {
-			return out[i].Family < out[j].Family
-		}
-		return out[i].Path < out[j].Path
-	})
-	return out
+	met.scansInfected.Inc()
+	// Memo entries are shared across scans; hand callers their own copy.
+	return sum, append([]Detection(nil), memoized...)
 }
 
 // Infected reports whether data contains any known malware, and the family
@@ -154,31 +183,81 @@ func (e *Engine) Infected(data []byte) (string, bool) {
 	return ds[0].Family, true
 }
 
-func (e *Engine) scan(data []byte, path string, depth int, found map[Detection]bool) {
-	if d := md5.Sum(data); true {
-		if fam, ok := e.hashes[d]; ok {
-			found[Detection{Family: fam, Path: path}] = true
+// scanMemo returns data's digest and its (possibly cached) verdict. The
+// returned slice is the shared memo entry: sorted, subtree-relative, and
+// not to be mutated. budget is the remaining archive-recursion allowance.
+func (e *Engine) scanMemo(data []byte, budget int) ([md5.Size]byte, []Detection) {
+	sum := md5.Sum(data)
+	key := memoKey{sum: sum}
+	isZip := archive.IsZip(data)
+	if isZip {
+		key.budget = budget
+	}
+	e.memoMu.RLock()
+	ds, ok := e.memo[key]
+	e.memoMu.RUnlock()
+	if ok {
+		met.memoHits.Inc()
+		return sum, ds
+	}
+	met.memoMisses.Inc()
+	ds = e.scanCold(data, sum, isZip, budget)
+	e.memoMu.Lock()
+	// A concurrent scan of the same content may have stored first; keep
+	// the existing entry so every caller shares one slice.
+	if prior, raced := e.memo[key]; raced {
+		ds = prior
+	} else {
+		e.memo[key] = ds
+	}
+	e.memoMu.Unlock()
+	return sum, ds
+}
+
+// scanCold computes the verdict for content not in the memo: hash-signature
+// lookup, one automaton pass for every pattern signature, then bounded
+// recursion into archive members. Member verdicts come back subtree-relative
+// and are rebased under the member path here.
+func (e *Engine) scanCold(data []byte, sum [md5.Size]byte, isZip bool, budget int) []Detection {
+	var out []Detection
+	if fam, ok := e.hashes[sum]; ok {
+		out = append(out, Detection{Family: fam})
+	}
+	e.ac.match(data, func(pattern int32) {
+		out = append(out, Detection{Family: e.patterns[pattern].Family})
+	})
+	if isZip && budget > 0 {
+		if members, err := archive.Extract(data); err == nil {
+			for _, m := range members {
+				_, sub := e.scanMemo(m.Data, budget-1)
+				for _, d := range sub {
+					p := m.Name
+					if d.Path != "" {
+						p = m.Name + "/" + d.Path
+					}
+					out = append(out, Detection{Family: d.Family, Path: p})
+				}
+			}
 		}
 	}
-	for _, s := range e.patterns {
-		if bytes.Contains(data, s.Data) {
-			found[Detection{Family: s.Family, Path: path}] = true
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Path < out[j].Path
+	})
+	// Dedup after sorting: a family can match by hash and pattern at the
+	// same path, or repeat across identical members.
+	dedup := out[:1]
+	for _, d := range out[1:] {
+		if d != dedup[len(dedup)-1] {
+			dedup = append(dedup, d)
 		}
 	}
-	if depth >= e.maxDepth || !archive.IsZip(data) {
-		return
-	}
-	members, err := archive.Extract(data)
-	if err != nil {
-		return
-	}
-	for _, m := range members {
-		sub := m.Name
-		if path != "" {
-			sub = path + "/" + m.Name
-		}
-		e.scan(m.Data, sub, depth+1, found)
-	}
+	return dedup
 }
 
 // HexHash returns the hex MD5 of data, the content identity used in trace
@@ -186,4 +265,10 @@ func (e *Engine) scan(data []byte, path string, depth int, found map[Detection]b
 func HexHash(data []byte) string {
 	d := md5.Sum(data)
 	return hex.EncodeToString(d[:])
+}
+
+// HexSum renders an already-computed MD5 digest the same way HexHash does,
+// for callers that scanned via ScanSum and must not hash twice.
+func HexSum(sum [md5.Size]byte) string {
+	return hex.EncodeToString(sum[:])
 }
