@@ -1,6 +1,6 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same gates.
 
-.PHONY: build test race lint fuzz-smoke bench ci
+.PHONY: build test race lint fuzz-smoke chaos golden bench ci
 
 build:
 	go build ./...
@@ -17,22 +17,37 @@ lint:
 	go vet ./...
 	go run ./cmd/p2plint ./...
 
-# Short fuzz runs over the three wire decoders; CI uses the same budget so
-# a regression that crashes on near-valid input is caught before merge.
+# Short fuzz runs over the wire decoders and the two transfer-response
+# parsers (seeded with faultsim.Mangle damage shapes); CI uses the same
+# budget so a regression that crashes on near-valid input is caught
+# before merge.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParsePong -fuzztime=10s ./internal/gnutella
 	go test -run='^$$' -fuzz=FuzzReadPacket -fuzztime=10s ./internal/openft
 	go test -run='^$$' -fuzz=FuzzPEParse -fuzztime=10s ./internal/pe
+	go test -run='^$$' -fuzz=FuzzDownloadResponse -fuzztime=10s ./internal/gnutella
+	go test -run='^$$' -fuzz=FuzzDownloadResponse -fuzztime=10s ./internal/openft
+
+# Chaos gate: the fault-profile × worker-count survival matrix plus the
+# faulted determinism pin, under the race detector, twice.
+chaos:
+	go test ./internal/core/ -race -count=2 -run 'TestStudySurvivesFaultMatrix|TestFaultedWorkerCountsEmitIdenticalTraces'
+
+# Golden-trace gate: regenerated event traces must match testdata/golden/
+# byte for byte. Refresh after an intentional trace change with:
+#   go test ./internal/core/ -run TestGoldenTrace -update
+golden:
+	go test ./internal/core/ -count=1 -run TestGoldenTrace
 
 # Benchmarks: the obs/archive/scanner hot paths run 6 times each so the
 # output feeds benchstat; the table/figure pipeline and study-engine
 # benchmarks are heavyweight (each iteration runs a scaled-down study)
-# and run once. benchjson folds everything into BENCH_4.json (mean across
+# and run once. benchjson folds everything into BENCH_5.json (mean across
 # runs), which CI uploads as an artifact. Non-gating in CI.
 bench:
 	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive ./internal/scanner | tee bench.out
 	go test -run='^$$' -bench=. -benchmem -count=1 . | tee -a bench.out
-	go run ./cmd/benchjson -o BENCH_4.json < bench.out >/dev/null
+	go run ./cmd/benchjson -o BENCH_5.json < bench.out >/dev/null
 	rm -f bench.out
 
-ci: build lint race fuzz-smoke
+ci: build lint race golden chaos fuzz-smoke

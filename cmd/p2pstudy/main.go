@@ -6,6 +6,7 @@
 //
 //	p2pstudy -days 30 -queries-per-day 96 -out trace.jsonl [-csv trace.csv]
 //	p2pstudy -network limewire -days 7 -out week.jsonl
+//	p2pstudy -days 7 -faults canonical -out hostile.jsonl
 package main
 
 import (
@@ -13,9 +14,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"p2pmalware/internal/core"
+	"p2pmalware/internal/faultsim"
 	"p2pmalware/internal/netsim"
 	"p2pmalware/internal/obs"
 )
@@ -36,6 +39,7 @@ func main() {
 		fake    = flag.Float64("fake-files", 0, "fraction of honest downloadable shares that are decoys (size lies)")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		workers = flag.Int("workers", 0, "download/scan worker pool size per network (0 = GOMAXPROCS); traces are byte-identical for any value")
+		faults  = flag.String("faults", "", "fault-injection profile ("+strings.Join(faultsim.ProfileNames(), ", ")+") or a FaultPlan JSON file; empty or \"off\" disables")
 
 		progress    = flag.Duration("progress", 24*time.Hour, "virtual interval between progress reports (0 disables)")
 		events      = flag.String("events", "", "optional event-trace output path (JSONL, virtual timestamps)")
@@ -53,10 +57,16 @@ func main() {
 		log.Printf("metrics on http://%s/metrics", srv.Addr())
 	}
 
+	plan, err := faultsim.Load(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cfg := core.StudyConfig{
 		Seed: *seed, Days: *days, QueriesPerDay: *perDay,
 		Quiesce: *quiesce, ChurnPerDay: *churn, Workers: *workers,
 		ProgressEvery: *progress, TraceWallLatency: *wallLatency,
+		Faults: plan,
 	}
 	switch *network {
 	case "both":

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"p2pmalware/internal/gnutella"
+	"p2pmalware/internal/guid"
+	"p2pmalware/internal/openft"
+	"p2pmalware/internal/simclock"
+)
+
+// TestLWDemuxStragglerAfterTakeRerouted pins the silent-skew fix: a hit
+// dispatched after its collector drained (take) but before it
+// deregistered (del) used to be appended to the already-drained
+// collector and silently lost. It must buffer and reach the next query.
+func TestLWDemuxStragglerAfterTakeRerouted(t *testing.T) {
+	t.Parallel()
+	d := &lwDemux{cols: make(map[guid.GUID]*lwCollector)}
+	g := guid.New()
+	col := &lwCollector{set: newSettler(simclock.Real{})}
+	d.put(g, col)
+	if got := col.take(); len(got) != 0 {
+		t.Fatalf("fresh collector held %d hits", len(got))
+	}
+
+	// The race window: closed by take, still registered.
+	qh := &gnutella.QueryHit{Hits: []gnutella.Hit{{Index: 7, Name: "straggler.exe", Size: 64}}}
+	d.dispatch(g, qh)
+	d.del(g)
+	d.mu.Lock()
+	buffered := len(d.overflow)
+	d.mu.Unlock()
+	if buffered != 1 {
+		t.Fatalf("straggler not buffered: overflow=%d", buffered)
+	}
+
+	// The next in-flight query inherits it, exactly once.
+	col2 := &lwCollector{set: newSettler(simclock.Real{})}
+	d.put(guid.New(), col2)
+	if got := col2.take(); len(got) != 1 || got[0].hit.Name != "straggler.exe" {
+		t.Fatalf("straggler not rerouted: got %v", got)
+	}
+}
+
+// TestFTDemuxStragglerAfterTakeRerouted mirrors the LimeWire regression
+// for the OpenFT result demux.
+func TestFTDemuxStragglerAfterTakeRerouted(t *testing.T) {
+	t.Parallel()
+	d := &ftDemux{cols: make(map[uint32]*ftCollector)}
+	col := &ftCollector{set: newSettler(simclock.Real{})}
+	d.put(1, col)
+	col.take()
+
+	d.dispatch(openft.SearchResp{ID: 1, Path: "straggler.zip"})
+	d.del(1)
+	d.mu.Lock()
+	buffered := len(d.overflow)
+	d.mu.Unlock()
+	if buffered != 1 {
+		t.Fatalf("straggler not buffered: overflow=%d", buffered)
+	}
+
+	col2 := &ftCollector{set: newSettler(simclock.Real{})}
+	d.put(2, col2)
+	if got := col2.take(); len(got) != 1 || got[0].Path != "straggler.zip" {
+		t.Fatalf("straggler not rerouted: got %v", got)
+	}
+}
+
+// TestLWDemuxChurningCollectorsCountEveryHit hammers dispatch against a
+// collector that is concurrently drained, dropped, and replaced: every
+// dispatched hit must be accounted exactly once across drained batches
+// and the overflow buffer, no matter how the goroutines interleave.
+// Run with -race this also exercises the close/route locking.
+func TestLWDemuxChurningCollectorsCountEveryHit(t *testing.T) {
+	t.Parallel()
+	d := &lwDemux{cols: make(map[guid.GUID]*lwCollector)}
+	const total = 500
+	g := guid.New()
+	d.put(g, &lwCollector{set: newSettler(simclock.Real{})})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			d.dispatch(g, &gnutella.QueryHit{Hits: []gnutella.Hit{{Index: uint32(i), Name: "f.exe", Size: 1}}})
+		}
+	}()
+	var got atomic.Int64
+	for {
+		d.mu.Lock()
+		col := d.cols[g]
+		d.mu.Unlock()
+		got.Add(int64(len(col.take())))
+		d.del(g)
+		select {
+		case <-done:
+			// Every dispatch has returned, so every hit sits in a batch
+			// already counted or in the overflow buffer.
+			d.mu.Lock()
+			got.Add(int64(len(d.overflow)))
+			d.overflow = nil
+			d.mu.Unlock()
+			if got.Load() != total {
+				t.Fatalf("accounted %d hits, dispatched %d", got.Load(), total)
+			}
+			return
+		default:
+		}
+		d.put(g, &lwCollector{set: newSettler(simclock.Real{})})
+	}
+}
+
+// TestBreakerEpochs pins the circuit breaker's state machine: hosts open
+// only at epoch boundaries after threshold consecutive failures, stay
+// suppressed for the cooldown, and successes reset the streak.
+func TestBreakerEpochs(t *testing.T) {
+	t.Parallel()
+	b := newBreaker()
+	for i := 0; i < b.threshold; i++ {
+		b.record("10.0.0.1", false)
+	}
+	if !b.allowed("10.0.0.1") {
+		t.Fatal("breaker opened mid-epoch; state must only change at advance()")
+	}
+	opened, closed := b.advance()
+	if opened != 1 || closed != 0 || b.allowed("10.0.0.1") {
+		t.Fatalf("advance = (%d opened, %d closed), allowed=%v; want host open", opened, closed, b.allowed("10.0.0.1"))
+	}
+	// Outcomes against an open host (fast fails) must not extend it.
+	b.record("10.0.0.1", false)
+	opened, closed = b.advance()
+	if opened != 0 || closed != 1 || !b.allowed("10.0.0.1") {
+		t.Fatalf("cooldown advance = (%d opened, %d closed), allowed=%v; want host closed", opened, closed, b.allowed("10.0.0.1"))
+	}
+	// A success resets the consecutive-failure streak.
+	b.record("10.0.0.2", false)
+	b.record("10.0.0.2", false)
+	b.record("10.0.0.2", true)
+	b.record("10.0.0.2", false)
+	if opened, _ := b.advance(); opened != 0 {
+		t.Fatal("streak survived an intervening success")
+	}
+}

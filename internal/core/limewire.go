@@ -23,9 +23,10 @@ import (
 // demultiplexed to it by query GUID, so any number of queries can collect
 // concurrently while the pipeline overlaps their settle waits.
 type lwCollector struct {
-	set  *settler
-	mu   sync.Mutex
-	hits []lwHit // guarded by mu
+	set    *settler
+	mu     sync.Mutex
+	hits   []lwHit // guarded by mu
+	closed bool    // take() happened; guarded by mu
 }
 
 type lwHit struct {
@@ -33,19 +34,34 @@ type lwHit struct {
 	hit gnutella.Hit
 }
 
-func (c *lwCollector) add(h lwHit) {
+// add accepts one hit, or reports false if the collector has already
+// been drained — the caller must re-route the hit, never drop it.
+func (c *lwCollector) add(h lwHit) bool {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
 	c.hits = append(c.hits, h)
 	c.mu.Unlock()
 	c.set.arrived()
+	return true
 }
 
+// take drains and closes the collector; late hits must go elsewhere.
 func (c *lwCollector) take() []lwHit {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	out := c.hits
 	c.hits = nil
 	return out
+}
+
+func (c *lwCollector) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // lwDemux routes query hits to the collector registered for their GUID.
@@ -65,21 +81,39 @@ type lwDemux struct {
 
 // dispatch delivers a query hit's file entries to the right collector.
 func (d *lwDemux) dispatch(g guid.GUID, qh *gnutella.QueryHit) {
-	d.mu.Lock()
-	col := d.cols[g]
-	if col == nil && len(d.order) > 0 {
-		col = d.cols[d.order[0]]
+	for _, h := range qh.Hits {
+		d.route(g, lwHit{qh: *qh, hit: h})
 	}
-	if col == nil {
-		for _, h := range qh.Hits {
-			d.overflow = append(d.overflow, lwHit{qh: *qh, hit: h})
+}
+
+// route lands one hit in exactly one place: the addressed collector, the
+// oldest still-open in-flight collector, or the overflow buffer. The
+// retry loop closes the race where a collector drains (take) between the
+// lookup and the delivery — before it, such a straggler was appended to
+// an already-drained collector and silently lost, skewing population
+// totals under churn and fault-induced slow responses.
+func (d *lwDemux) route(g guid.GUID, h lwHit) {
+	for {
+		d.mu.Lock()
+		col := d.cols[g]
+		if col == nil || col.isClosed() {
+			col = nil
+			for _, og := range d.order {
+				if c := d.cols[og]; c != nil && !c.isClosed() {
+					col = c
+					break
+				}
+			}
+		}
+		if col == nil {
+			d.overflow = append(d.overflow, h)
+			d.mu.Unlock()
+			return
 		}
 		d.mu.Unlock()
-		return
-	}
-	d.mu.Unlock()
-	for _, h := range qh.Hits {
-		col.add(lwHit{qh: *qh, hit: h})
+		if col.add(h) {
+			return
+		}
 	}
 }
 
@@ -91,7 +125,9 @@ func (d *lwDemux) put(g guid.GUID, c *lwCollector) {
 	d.overflow = nil
 	d.mu.Unlock()
 	for _, h := range of {
-		c.add(h)
+		if !c.add(h) {
+			d.route(g, h)
+		}
 	}
 }
 
@@ -150,6 +186,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	if err != nil {
 		return err
 	}
+	fx := s.newNetFaults("limewire", net_.Mem)
 	cache := newFetchCache()
 	pushLocks := newKeyedLocks()
 	total := s.totalQueries()
@@ -166,18 +203,32 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	defer pl.stop()
 	var tl tally
 	var errs errBox
-	if s.cfg.ChurnPerDay > 0 {
+	churn := s.cfg.ChurnPerDay
+	if fx != nil && s.cfg.Faults.ChurnPerDay > churn {
+		churn = s.cfg.Faults.ChurnPerDay
+	}
+	if churn > 0 || fx != nil {
 		for d := 1; d < s.cfg.Days; d++ {
 			day := d
 			clock.Schedule(time.Duration(d)*24*time.Hour, func(now time.Time) {
 				if errs.get() != nil {
 					return
 				}
-				// Churn swaps live nodes: every in-flight download must
-				// finish against the pre-churn population first, as it did
-				// when queries were processed synchronously.
+				// Churn and breaker epochs mutate shared state: every
+				// in-flight download must finish against the pre-boundary
+				// population first, as it did when queries were processed
+				// synchronously.
 				pl.barrier()
-				replaced, err := net_.ChurnHonest(s.cfg.ChurnPerDay)
+				if fx != nil {
+					if opened, closed := fx.br.advance(); opened+closed > 0 {
+						lwMet.circuitOpen.Add(int64(opened))
+						trace.Emit("circuit", obs.Int("day", int64(day)), obs.Int("opened", int64(opened)), obs.Int("closed", int64(closed)))
+					}
+				}
+				if churn <= 0 {
+					return
+				}
+				replaced, err := net_.ChurnHonest(churn)
 				if err != nil {
 					errs.set(fmt.Errorf("core: churn on day %d: %w", day, err))
 					return
@@ -250,7 +301,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 							if s.cfg.TraceWallLatency {
 								wallStart = wallClock.Now()
 							}
-							res := s.fetchLimeWire(client, net_, &d.rec, h, cache, pushLocks)
+							res := s.fetchLimeWire(client, net_, h, hits, cache, pushLocks, fx)
 							applyResult(&d.rec, res)
 							if s.cfg.TraceWallLatency {
 								d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
@@ -283,14 +334,29 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 								obs.Int("size", rec.BodySize),
 								obs.String("verdict", downloadVerdict(&rec)),
 							}
+							if rec.AltSource != "" {
+								attrs = append(attrs, obs.String("alt", rec.AltSource))
+							}
 							if s.cfg.TraceWallLatency {
 								attrs = append(attrs, obs.Int("wall_us", d.wallUS))
 							}
 							trace.EmitAt(now, "download", attrs...)
 							if rec.DownloadError != "" {
 								lwMet.downloadsErr.Inc()
+								lwMet.fetchFailed.Inc()
 							} else {
 								lwMet.downloadsOK.Inc()
+								if rec.AltSource != "" {
+									lwMet.altOK.Inc()
+								}
+							}
+							if fx != nil && !rec.PushFlagged {
+								// The advertised source failed whenever the
+								// fetch errored or had to fall back to an
+								// alternate; the committer records outcomes
+								// in commit order so breaker state is
+								// schedule-independent.
+								fx.br.record(rec.SourceIP, rec.DownloadError == "" && rec.AltSource == "")
 							}
 							if rec.Malware != "" {
 								tl.malware++
@@ -334,22 +400,71 @@ func sortLWHits(hits []lwHit) {
 }
 
 // fetchLimeWire fetches a downloadable hit (directly, or via push for
-// firewalled sources) and returns its labelled verdict. The cache gives
-// singleflight semantics per source endpoint + index, and the keyed lock
-// serializes push downloads per (servent, index) so concurrent workers
-// cannot collide on the push-callback registration.
-func (s *Study) fetchLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, rec *dataset.ResponseRecord, h lwHit, cache *fetchCache, pushLocks *keyedLocks) fetchResult {
-	key := fmt.Sprintf("%s:%d/%d/%d", rec.SourceIP, rec.SourcePort, h.hit.Index, h.hit.Size)
-	push := rec.PushFlagged
+// firewalled sources) and returns its labelled verdict. Under an active
+// fault plan a retryably-failed direct fetch falls back to alternate
+// sources: other responders in the same query's sorted hit list that
+// advertise the same content (matched by URN when the hit carried one,
+// else by name+size), tried in hit order so the choice is deterministic.
+func (s *Study) fetchLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, h lwHit, hits []lwHit, cache *fetchCache, pushLocks *keyedLocks, fx *netFaults) fetchResult {
+	res := s.fetchLWOnce(client, net_, h, cache, pushLocks, fx)
+	if fx == nil || res.err == nil || h.qh.Flags&gnutella.QHDPush != 0 || !gnutella.Retryable(res.err) {
+		return res
+	}
+	want := lwAltKey(h)
+	for _, a := range hits {
+		if lwAltKey(a) != want || a.qh.Flags&gnutella.QHDPush != 0 {
+			continue
+		}
+		if a.qh.IP.Equal(h.qh.IP) && a.qh.Port == h.qh.Port {
+			continue // the source that just failed
+		}
+		alt := s.fetchLWOnce(client, net_, a, cache, pushLocks, fx)
+		if alt.err == nil {
+			alt.alt = fmt.Sprintf("%s:%d", a.qh.IP, a.qh.Port)
+			return alt
+		}
+	}
+	return res
+}
+
+// lwAltKey is the content identity used to group alternate sources: the
+// HUGE urn:sha1 when the hit advertised one, else advertised name+size.
+func lwAltKey(h lwHit) string {
+	if h.hit.Extensions != "" {
+		return h.hit.Extensions
+	}
+	return fmt.Sprintf("%s/%d", h.hit.Name, h.hit.Size)
+}
+
+// fetchLWOnce fetches one hit through the deduplicating cache. The cache
+// gives singleflight semantics per source endpoint + index, and the
+// keyed lock serializes push downloads per (servent, index) so
+// concurrent workers cannot collide on the push-callback registration.
+// In fault mode the closure dials through the injector-wrapped transport
+// with retry/backoff, after the per-host circuit breaker agrees; fault
+// decisions are PRF-keyed by (plan seed, cache key, attempt), so the
+// cached result is the same no matter which worker fetches first.
+func (s *Study) fetchLWOnce(client *gnutella.Node, net_ *netsim.LimeWireNet, h lwHit, cache *fetchCache, pushLocks *keyedLocks, fx *netFaults) fetchResult {
+	key := fmt.Sprintf("%s:%d/%d/%d", h.qh.IP, h.qh.Port, h.hit.Index, h.hit.Size)
+	push := h.qh.Flags&gnutella.QHDPush != 0
 	return cache.do(key, func() fetchResult {
 		var body []byte
 		var err error
-		if push {
+		switch {
+		case push:
+			// Push transfers ride the overlay control plane, which the
+			// injector does not wrap; they keep the clean path.
 			unlock := pushLocks.lock(fmt.Sprintf("%s/%d", h.qh.ServentID, h.hit.Index))
 			body, err = client.DownloadViaPush(h.qh.ServentID, h.hit.Index, h.hit.Name, 5*time.Second)
 			unlock()
-		} else {
-			addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
+		case fx != nil:
+			if !fx.br.allowed(h.qh.IP.String()) {
+				return fetchResult{err: errCircuitOpen}
+			}
+			addr := fmt.Sprintf("%s:%d", h.qh.IP, h.qh.Port)
+			body, err = gnutella.DownloadWithRetry(fx.inj.Transport(key), addr, h.hit.Index, h.hit.Name, fx.policy)
+		default:
+			addr := fmt.Sprintf("%s:%d", h.qh.IP, h.qh.Port)
 			body, err = gnutella.Download(net_.Mem, addr, h.hit.Index, h.hit.Name)
 		}
 		return s.labelFetch(body, err)

@@ -25,6 +25,13 @@ type netMetrics struct {
 	downloadsErr *obs.Counter
 	malware      *obs.Counter
 
+	// Fault-mode robustness: terminal fetch failures (after retries and
+	// alternates), recoveries via an alternate source, and hosts opened
+	// by the circuit breaker.
+	fetchFailed *obs.Counter
+	altOK       *obs.Counter
+	circuitOpen *obs.Counter
+
 	// Pipeline introspection: how many queries sit between issue and
 	// commit, and where each one spends its wall time.
 	inflight        *obs.Gauge
@@ -40,6 +47,9 @@ func newNetMetrics(network string) *netMetrics {
 		downloadsOK:     obs.C("p2p_study_downloads_total", "network", network, "result", "ok"),
 		downloadsErr:    obs.C("p2p_study_downloads_total", "network", network, "result", "error"),
 		malware:         obs.C("p2p_study_malware_total", "network", network),
+		fetchFailed:     obs.C("p2p_study_fetch_failed_total", "network", network),
+		altOK:           obs.C("p2p_study_fetch_alt_total", "network", network),
+		circuitOpen:     obs.C("p2p_study_circuit_open_total", "network", network),
 		inflight:        obs.G("p2p_study_pipeline_inflight", "network", network),
 		stageCollect:    obs.H("p2p_study_stage_us", obs.LatencyBuckets, "network", network, "stage", "collect"),
 		stageFetch:      obs.H("p2p_study_stage_us", obs.LatencyBuckets, "network", network, "stage", "fetch"),

@@ -24,13 +24,27 @@ type ftCollector struct {
 	set     *settler
 	mu      sync.Mutex
 	results []openft.SearchResp // guarded by mu
+	closed  bool                // take() happened; guarded by mu
 }
 
-func (c *ftCollector) add(r openft.SearchResp) {
+// add accepts one result, or reports false if the collector has already
+// been drained — the caller must re-route the result, never drop it.
+func (c *ftCollector) add(r openft.SearchResp) bool {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
 	c.results = append(c.results, r)
 	c.mu.Unlock()
 	c.set.arrived()
+	return true
+}
+
+func (c *ftCollector) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // ftDemux routes search results to the collector registered for their
@@ -45,20 +59,36 @@ type ftDemux struct {
 	overflow []openft.SearchResp     // stragglers awaiting a collector; guarded by mu
 }
 
-// dispatch delivers one search result to the right collector.
+// dispatch delivers one search result to the right collector. It lands
+// in exactly one place: the addressed collector, the oldest still-open
+// in-flight collector, or the overflow buffer. The retry loop closes the
+// race where a collector drains (take) between the lookup and the
+// delivery — before it, such a straggler was appended to an
+// already-drained collector and silently lost, skewing population
+// totals under churn and fault-induced slow responses.
 func (d *ftDemux) dispatch(r openft.SearchResp) {
-	d.mu.Lock()
-	col := d.cols[r.ID]
-	if col == nil && len(d.order) > 0 {
-		col = d.cols[d.order[0]]
-	}
-	if col == nil {
-		d.overflow = append(d.overflow, r)
+	for {
+		d.mu.Lock()
+		col := d.cols[r.ID]
+		if col == nil || col.isClosed() {
+			col = nil
+			for _, oid := range d.order {
+				if c := d.cols[oid]; c != nil && !c.isClosed() {
+					col = c
+					break
+				}
+			}
+		}
+		if col == nil {
+			d.overflow = append(d.overflow, r)
+			d.mu.Unlock()
+			return
+		}
 		d.mu.Unlock()
-		return
+		if col.add(r) {
+			return
+		}
 	}
-	d.mu.Unlock()
-	col.add(r)
 }
 
 func (d *ftDemux) put(id uint32, c *ftCollector) {
@@ -69,7 +99,9 @@ func (d *ftDemux) put(id uint32, c *ftCollector) {
 	d.overflow = nil
 	d.mu.Unlock()
 	for _, r := range of {
-		c.add(r)
+		if !c.add(r) {
+			d.dispatch(r)
+		}
 	}
 }
 
@@ -85,9 +117,11 @@ func (d *ftDemux) del(id uint32) {
 	d.mu.Unlock()
 }
 
+// take drains and closes the collector; late results must go elsewhere.
 func (c *ftCollector) take() []openft.SearchResp {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	out := c.results
 	c.results = nil
 	return out
@@ -136,6 +170,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	if err != nil {
 		return err
 	}
+	fx := s.newNetFaults("openft", net_.Mem)
 	cache := newFetchCache()
 	total := s.totalQueries()
 	interval := 24 * time.Hour / time.Duration(s.cfg.QueriesPerDay)
@@ -146,6 +181,37 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	defer pl.stop()
 	var tl tally
 	var errs errBox
+	if fx != nil {
+		// OpenFT churn is driven by the fault plan only: StudyConfig's
+		// ChurnPerDay keeps its historical LimeWire-leaves meaning, so
+		// clean-run traces are unchanged.
+		churn := s.cfg.Faults.ChurnPerDay
+		for d := 1; d < s.cfg.Days; d++ {
+			day := d
+			clock.Schedule(time.Duration(d)*24*time.Hour, func(now time.Time) {
+				if errs.get() != nil {
+					return
+				}
+				// Every in-flight download must finish against the
+				// pre-boundary population and breaker state first.
+				pl.barrier()
+				if opened, closed := fx.br.advance(); opened+closed > 0 {
+					ftMet.circuitOpen.Add(int64(opened))
+					trace.Emit("circuit", obs.Int("day", int64(day)), obs.Int("opened", int64(opened)), obs.Int("closed", int64(closed)))
+				}
+				if churn <= 0 {
+					return
+				}
+				replaced, err := net_.ChurnUsers(churn)
+				if err != nil {
+					errs.set(fmt.Errorf("core: openft churn on day %d: %w", day, err))
+					return
+				}
+				trace.Emit("churn", obs.Int("day", int64(day)), obs.Int("replaced", int64(replaced)))
+				s.progress("openft: day %d churned %d users", day, replaced)
+			})
+		}
+	}
 	for i := 0; i < total; i++ {
 		i := i
 		clock.Schedule(time.Duration(i)*interval, func(now time.Time) {
@@ -205,7 +271,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 							if s.cfg.TraceWallLatency {
 								wallStart = wallClock.Now()
 							}
-							res := s.fetchOpenFT(net_, &d.rec, r, cache)
+							res := s.fetchOpenFT(net_, r, results, cache, fx)
 							applyResult(&d.rec, res)
 							if s.cfg.TraceWallLatency {
 								d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
@@ -238,14 +304,26 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 								obs.Int("size", rec.BodySize),
 								obs.String("verdict", downloadVerdict(&rec)),
 							}
+							if rec.AltSource != "" {
+								attrs = append(attrs, obs.String("alt", rec.AltSource))
+							}
 							if s.cfg.TraceWallLatency {
 								attrs = append(attrs, obs.Int("wall_us", d.wallUS))
 							}
 							trace.EmitAt(now, "download", attrs...)
 							if rec.DownloadError != "" {
 								ftMet.downloadsErr.Inc()
+								ftMet.fetchFailed.Inc()
 							} else {
 								ftMet.downloadsOK.Inc()
+								if rec.AltSource != "" {
+									ftMet.altOK.Inc()
+								}
+							}
+							if fx != nil {
+								// Outcomes recorded in commit order keep the
+								// breaker schedule-independent.
+								fx.br.record(rec.SourceIP, rec.DownloadError == "" && rec.AltSource == "")
 							}
 							if rec.Malware != "" {
 								tl.malware++
@@ -287,12 +365,48 @@ func sortFTResults(results []openft.SearchResp) {
 }
 
 // fetchOpenFT fetches a result by MD5 from the sharing user and returns
-// its labelled verdict, deduplicated per (hash, host) with singleflight
-// semantics.
-func (s *Study) fetchOpenFT(net_ *netsim.OpenFTNet, rec *dataset.ResponseRecord, r openft.SearchResp, cache *fetchCache) fetchResult {
-	key := "md5/" + r.MD5 + "@" + rec.SourceIP
-	addr := fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)
+// its labelled verdict. Under an active fault plan a retryably-failed
+// fetch falls back to alternate sources: other responders in the same
+// search's sorted result list advertising the same MD5, tried in result
+// order so the choice is deterministic.
+func (s *Study) fetchOpenFT(net_ *netsim.OpenFTNet, r openft.SearchResp, results []openft.SearchResp, cache *fetchCache, fx *netFaults) fetchResult {
+	res := s.fetchFTOnce(net_, r, cache, fx)
+	if fx == nil || res.err == nil || !openft.Retryable(res.err) {
+		return res
+	}
+	for _, a := range results {
+		if a.MD5 != r.MD5 {
+			continue
+		}
+		if a.IP.Equal(r.IP) && a.Port == r.Port {
+			continue // the source that just failed
+		}
+		alt := s.fetchFTOnce(net_, a, cache, fx)
+		if alt.err == nil {
+			alt.alt = fmt.Sprintf("%s:%d", a.IP, a.Port)
+			return alt
+		}
+	}
+	return res
+}
+
+// fetchFTOnce fetches one result through the deduplicating cache,
+// singleflighted per (hash, host). In fault mode the closure dials
+// through the injector-wrapped transport with retry/backoff, after the
+// per-host circuit breaker agrees; fault decisions are PRF-keyed by
+// (plan seed, cache key, attempt), so the cached result is the same no
+// matter which worker fetches first.
+func (s *Study) fetchFTOnce(net_ *netsim.OpenFTNet, r openft.SearchResp, cache *fetchCache, fx *netFaults) fetchResult {
+	key := "md5/" + r.MD5 + "@" + r.IP.String()
+	addr := fmt.Sprintf("%s:%d", r.IP, r.Port)
 	return cache.do(key, func() fetchResult {
+		if fx != nil {
+			if !fx.br.allowed(r.IP.String()) {
+				return fetchResult{err: errCircuitOpen}
+			}
+			body, err := openft.DownloadWithRetry(fx.inj.Transport(key), addr, r.MD5, fx.policy)
+			return s.labelFetch(body, err)
+		}
 		body, err := openft.Download(net_.Mem, addr, r.MD5)
 		return s.labelFetch(body, err)
 	})

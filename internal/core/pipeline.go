@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/faultsim"
+	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
 )
@@ -228,6 +231,103 @@ func (s *settler) wakeAt(target, deadline time.Time) {
 	}()
 }
 
+// errCircuitOpen is the fast-fail verdict for fetches addressed to hosts
+// whose circuit breaker is open. Its message lands in download_error
+// record fields, so it must stay stable across runs.
+var errCircuitOpen = errors.New("circuit open: host suppressed after repeated transfer failures")
+
+// netFaults bundles one network's fault-mode state: the deterministic
+// transport injector, the resolved retry policy, and the per-host
+// circuit breaker. A nil *netFaults means the study runs clean — every
+// fault-path branch is skipped and the engine fetches, records, and
+// traces exactly as it did before fault injection existed.
+type netFaults struct {
+	inj    *faultsim.Injector
+	policy p2p.RetryPolicy
+	br     *breaker
+}
+
+// newNetFaults wires a network's fault state, or returns nil when the
+// study's plan is absent or inactive.
+func (s *Study) newNetFaults(network string, inner p2p.Transport) *netFaults {
+	inj := faultsim.NewInjector(s.cfg.Faults, s.cfg.Seed, network, inner)
+	if inj == nil {
+		return nil
+	}
+	return &netFaults{inj: inj, policy: s.fetchRetryPolicy(), br: newBreaker()}
+}
+
+// breaker is a per-host circuit breaker with virtual-day epochs.
+// Outcomes are recorded by the committer goroutine in commit order, and
+// the open set only changes in advance(), which the clock goroutine
+// calls behind a pipeline barrier (no fetches in flight) at day
+// boundaries. Between epochs the open set is frozen, so fetch workers
+// observe identical breaker decisions regardless of scheduling — the
+// property the byte-identical-trace guarantee rests on.
+type breaker struct {
+	threshold int // consecutive failures that open a host
+	cooldown  int // epochs an opened host stays suppressed
+
+	mu    sync.Mutex
+	fails map[string]int // consecutive direct-fetch failures; guarded by mu
+	open  map[string]int // host -> epochs left open; guarded by mu
+}
+
+func newBreaker() *breaker {
+	return &breaker{
+		threshold: 3,
+		cooldown:  1,
+		fails:     make(map[string]int),
+		open:      make(map[string]int),
+	}
+}
+
+// allowed reports whether direct fetches to host may proceed this epoch.
+func (b *breaker) allowed(host string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open[host] == 0
+}
+
+// record tallies one committed direct-fetch outcome for host. Fast-fail
+// outcomes against an already-open host do not re-count.
+func (b *breaker) record(host string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open[host] > 0 {
+		return
+	}
+	if ok {
+		delete(b.fails, host)
+		return
+	}
+	b.fails[host]++
+}
+
+// advance moves the breaker one epoch: open hosts tick toward closing,
+// and hosts that crossed the failure threshold open for cooldown epochs.
+// Returns how many hosts opened and closed, for tracing.
+func (b *breaker) advance() (opened, closed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for host, left := range b.open {
+		if left <= 1 {
+			delete(b.open, host)
+			closed++
+		} else {
+			b.open[host] = left - 1
+		}
+	}
+	for host, n := range b.fails {
+		if n >= b.threshold {
+			b.open[host] = b.cooldown
+			delete(b.fails, host)
+			opened++
+		}
+	}
+	return opened, closed
+}
+
 // fetchResult is a finished download+scan verdict: everything a record
 // needs, with the body itself already dropped.
 type fetchResult struct {
@@ -235,6 +335,9 @@ type fetchResult struct {
 	hash   string
 	size   int64
 	family string
+	// alt is the endpoint an alternate-source retry fetched from, when
+	// the advertised source failed but another responder had the content.
+	alt string
 }
 
 // labelFetch scans a fetched body once — the MD5 is shared between the
@@ -260,6 +363,7 @@ func applyResult(rec *dataset.ResponseRecord, res fetchResult) {
 		return
 	}
 	rec.Downloaded = true
+	rec.AltSource = res.alt
 	rec.BodyHash = res.hash
 	rec.BodySize = res.size
 	rec.Malware = res.family

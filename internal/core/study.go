@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/faultsim"
 	"p2pmalware/internal/malware"
 	"p2pmalware/internal/netsim"
 	"p2pmalware/internal/obs"
+	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
 	"p2pmalware/internal/stats"
@@ -58,6 +60,18 @@ type StudyConfig struct {
 	// committer re-serializes results into issue order before any record
 	// or event is appended.
 	Workers int
+	// Faults, when non-nil and active, injects deterministic transport
+	// faults (latency, refusals, resets, truncation, corruption,
+	// slow-loris) into both instrumented clients' direct transfers and
+	// enables the retry / alternate-source / circuit-breaker machinery.
+	// nil, or an all-zero plan, reproduces the clean engine byte for
+	// byte. The plan's ChurnPerDay also schedules day-boundary churn on
+	// both networks (merged with ChurnPerDay above by max for LimeWire).
+	Faults *faultsim.FaultPlan
+	// FetchRetry tunes the per-download retry loop used when Faults is
+	// active. Zero fields take p2p.DefaultRetryPolicy values; the jitter
+	// seed defaults to Seed.
+	FetchRetry p2p.RetryPolicy
 	// LimeWire configures the Gnutella universe; nil skips the network.
 	LimeWire *netsim.LimeWireConfig
 	// OpenFT configures the OpenFT universe; nil skips the network.
@@ -108,6 +122,11 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	cfg.applyDefaults()
 	if cfg.LimeWire == nil && cfg.OpenFT == nil {
 		return nil, fmt.Errorf("core: study needs at least one network")
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
 	}
 	var catalogs []*malware.Catalog
 	if cfg.LimeWire != nil {
@@ -251,6 +270,18 @@ func downloadVerdict(rec *dataset.ResponseRecord) string {
 // totalQueries is the query budget per network.
 func (s *Study) totalQueries() int {
 	return s.cfg.Days * s.cfg.QueriesPerDay
+}
+
+// fetchRetryPolicy resolves the effective retry policy for fault-mode
+// fetches: explicit fields win, the rest fall back to
+// p2p.DefaultRetryPolicy, and the jitter PRF is keyed by the study seed
+// unless the caller picked its own.
+func (s *Study) fetchRetryPolicy() p2p.RetryPolicy {
+	p := s.cfg.FetchRetry.WithDefaults()
+	if p.Seed == 0 {
+		p.Seed = s.cfg.Seed
+	}
+	return p
 }
 
 // newWorkload builds the query generator; both networks draw from the same

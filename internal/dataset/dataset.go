@@ -59,6 +59,10 @@ type ResponseRecord struct {
 	Downloaded bool `json:"downloaded"`
 	// DownloadError records why a download failed ("" on success).
 	DownloadError string `json:"download_error,omitempty"`
+	// AltSource, when set, is the endpoint the content was actually
+	// fetched from after the advertised source failed — an alternate
+	// responder advertising the same content identity.
+	AltSource string `json:"alt_source,omitempty"`
 	// BodyHash is the hex MD5 of the downloaded bytes.
 	BodyHash string `json:"body_hash,omitempty"`
 	// BodySize is the true size of the downloaded bytes.
@@ -191,7 +195,7 @@ var csvHeader = []string{
 	"time", "network", "query", "query_category", "filename", "size",
 	"source_ip", "source_port", "source_class", "servent_id", "content_id",
 	"vendor", "push_flagged", "downloadable", "downloaded",
-	"download_error", "body_hash", "body_size", "malware",
+	"download_error", "alt_source", "body_hash", "body_size", "malware",
 }
 
 // WriteCSV exports the records as CSV with a header row.
@@ -211,7 +215,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.FormatBool(r.PushFlagged),
 			strconv.FormatBool(r.Downloadable),
 			strconv.FormatBool(r.Downloaded),
-			r.DownloadError, r.BodyHash,
+			r.DownloadError, r.AltSource, r.BodyHash,
 			strconv.FormatInt(r.BodySize, 10), r.Malware,
 		}
 		if err := cw.Write(row); err != nil {

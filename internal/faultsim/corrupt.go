@@ -1,0 +1,28 @@
+package faultsim
+
+// Mangle returns deterministic damaged variants of a well-formed wire
+// blob, applying the same transforms the fault connection inflicts on
+// live transfers: a truncated prefix, an XOR corruption burst, and the
+// two combined. The fuzz targets seed their corpora with these, so the
+// decoders are exercised against exactly the damage the injector
+// produces, not just random mutation.
+func Mangle(data []byte, seed uint64) [][]byte {
+	if len(data) == 0 {
+		return nil
+	}
+	rng := prf(seed, "mangle", int64(len(data)))
+	out := make([][]byte, 0, 3)
+
+	cut := 1 + rng.IntN(len(data))
+	out = append(out, append([]byte(nil), data[:cut]...))
+
+	corruptAt := int64(rng.IntN(len(data)))
+	flipped := append([]byte(nil), data...)
+	corruptSpan(flipped, 0, corruptAt)
+	out = append(out, flipped)
+
+	both := append([]byte(nil), flipped[:cut]...)
+	corruptSpan(both, 0, int64(rng.IntN(cut)))
+	out = append(out, both)
+	return out
+}

@@ -1,0 +1,279 @@
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"p2pmalware/internal/p2p"
+)
+
+func TestLoadProfilesAndFiles(t *testing.T) {
+	for _, name := range []string{"", "off"} {
+		if plan, err := Load(name); err != nil || plan != nil {
+			t.Fatalf("Load(%q) = %v, %v, want nil, nil", name, plan, err)
+		}
+	}
+	for _, name := range ProfileNames() {
+		plan, err := Load(name)
+		if err != nil {
+			t.Fatalf("Load(%q): %v", name, err)
+		}
+		if name != "off" && (plan == nil || plan.Name != name) {
+			t.Fatalf("Load(%q) = %+v", name, plan)
+		}
+		if plan != nil {
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("profile %q invalid: %v", name, err)
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	want := FaultPlan{Name: "custom", DialRefuse: 0.1, Truncate: 0.05, LatencyMaxMS: 3}
+	data, _ := json.Marshal(want)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(file): %v", err)
+	}
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("Load(file) = %+v, want %+v", *got, want)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"dial_refuse": 2.0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("Load accepted out-of-range plan")
+	}
+	if _, err := Load("no-such-profile"); err == nil {
+		t.Fatal("Load accepted unknown profile name")
+	}
+}
+
+func TestCanonicalProfileMeetsAcceptanceFloor(t *testing.T) {
+	p := Profiles["canonical"]
+	if fails := p.DialRefuse + p.Reset; fails < 0.05 {
+		t.Fatalf("canonical connection-failure rate %v < 0.05", fails)
+	}
+	if p.Truncate < 0.02 {
+		t.Fatalf("canonical truncation rate %v < 0.02", p.Truncate)
+	}
+	if p.ChurnPerDay <= 0 {
+		t.Fatal("canonical profile must enable churn")
+	}
+}
+
+func TestDecideIsDeterministicAndKeyIndependent(t *testing.T) {
+	plan := Profiles["canonical"]
+	a := NewInjector(&plan, 42, "test", p2p.NewMem())
+	b := NewInjector(&plan, 42, "test", p2p.NewMem())
+	diffSeed := NewInjector(&plan, 43, "test", p2p.NewMem())
+	keys := []string{"k0", "k1", "host:6346/1/100", "md5/abcd@10.0.0.1"}
+	varied := false
+	for _, key := range keys {
+		for attempt := int64(1); attempt <= 50; attempt++ {
+			va, vb := a.decide(key, attempt), b.decide(key, attempt)
+			if va != vb {
+				t.Fatalf("decide(%q,%d) differs across same-seed injectors: %+v vs %+v", key, attempt, va, vb)
+			}
+			if va != diffSeed.decide(key, attempt) {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("seed change never changed any verdict — PRF is ignoring the seed")
+	}
+}
+
+// pipeServe runs a one-shot in-memory server that writes payload to the
+// first accepted connection.
+func pipeServe(t *testing.T, mem *p2p.Mem, addr string, payload []byte) {
+	t.Helper()
+	l, err := mem.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(c)
+		}
+	}()
+}
+
+// dialWith forces a specific verdict through a faultConn over the live
+// in-memory transport.
+func dialWith(t *testing.T, inj *Injector, mem *p2p.Mem, addr string, v verdict) net.Conn {
+	t.Helper()
+	conn, err := mem.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &faultConn{Conn: conn, inj: inj, verdict: v}
+}
+
+func TestFaultConnTruncateAndReset(t *testing.T) {
+	mem := p2p.NewMem()
+	payload := bytes.Repeat([]byte("abcdefgh"), 64) // 512 bytes
+	pipeServe(t, mem, "10.0.0.1:80", payload)
+	plan := FaultPlan{Truncate: 1}
+	inj := NewInjector(&plan, 1, "test", mem)
+
+	conn := dialWith(t, inj, mem, "10.0.0.1:80", verdict{cutoff: 100, corruptAt: -1})
+	got, err := io.ReadAll(conn)
+	conn.Close()
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("truncated read error = %v, want ErrInjectedReset", err)
+	}
+	if len(got) != 100 || !bytes.Equal(got, payload[:100]) {
+		t.Fatalf("truncated read delivered %d bytes, want the first 100", len(got))
+	}
+
+	conn = dialWith(t, inj, mem, "10.0.0.1:80", verdict{cutoff: 0, corruptAt: -1})
+	got, err = io.ReadAll(conn)
+	conn.Close()
+	if !errors.Is(err, ErrInjectedReset) || len(got) != 0 {
+		t.Fatalf("reset read = %d bytes, %v; want 0 bytes, ErrInjectedReset", len(got), err)
+	}
+}
+
+func TestFaultConnCorruptionIsPositional(t *testing.T) {
+	mem := p2p.NewMem()
+	payload := bytes.Repeat([]byte{0x11}, 600)
+	pipeServe(t, mem, "10.0.0.2:80", payload)
+	plan := FaultPlan{Corrupt: 1}
+	inj := NewInjector(&plan, 1, "test", mem)
+
+	read := func(bufSize int) []byte {
+		conn := dialWith(t, inj, mem, "10.0.0.2:80", verdict{cutoff: -1, corruptAt: 300})
+		defer conn.Close()
+		var out []byte
+		buf := make([]byte, bufSize)
+		for {
+			n, err := conn.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				return out
+			}
+		}
+	}
+	small, big := read(7), read(4096)
+	if !bytes.Equal(small, big) {
+		t.Fatal("corruption depends on read sizing")
+	}
+	if bytes.Equal(small, payload) {
+		t.Fatal("corruption did not fire")
+	}
+	if !bytes.Equal(small[:300], payload[:300]) {
+		t.Fatal("corruption hit bytes before corruptAt")
+	}
+	if !bytes.Equal(small[300+corruptLen:], payload[300+corruptLen:]) {
+		t.Fatal("corruption extended past the burst")
+	}
+}
+
+func TestFaultConnSlowLorisHonorsDeadline(t *testing.T) {
+	mem := p2p.NewMem()
+	pipeServe(t, mem, "10.0.0.3:80", []byte("never delivered"))
+	plan := FaultPlan{SlowLoris: 1}
+	inj := NewInjector(&plan, 1, "test", mem)
+
+	conn := dialWith(t, inj, mem, "10.0.0.3:80", verdict{slowloris: true, cutoff: -1, corruptAt: -1})
+	defer conn.Close()
+	start := time.Now()
+	conn.SetReadDeadline(start.Add(50 * time.Millisecond))
+	_, err := conn.Read(make([]byte, 16))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("slow-loris read error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > maxStall {
+		t.Fatalf("slow-loris stalled %v, past the deadline cap", elapsed)
+	}
+}
+
+func TestViewDialRefusalAndAttemptNumbering(t *testing.T) {
+	mem := p2p.NewMem()
+	pipeServe(t, mem, "10.0.0.4:80", []byte("ok"))
+	plan := FaultPlan{DialRefuse: 0.5}
+	inj := NewInjector(&plan, 7, "test", mem)
+
+	outcomes := func() []bool {
+		tr := inj.Transport("key-a")
+		var out []bool
+		for i := 0; i < 40; i++ {
+			c, err := tr.Dial("10.0.0.4:80")
+			out = append(out, err == nil)
+			if c != nil {
+				c.Close()
+			}
+		}
+		return out
+	}
+	first, second := outcomes(), outcomes()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("same key produced different dial outcome sequences")
+	}
+	refused := 0
+	for _, ok := range first {
+		if !ok {
+			refused++
+		}
+	}
+	if refused == 0 || refused == len(first) {
+		t.Fatalf("refusal count %d/%d — probability not applied", refused, len(first))
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Transport("k") != nil {
+		t.Fatal("nil injector returned a transport")
+	}
+	off := Profiles["off"]
+	if NewInjector(&off, 1, "test", p2p.NewMem()) != nil {
+		t.Fatal("inactive plan built an injector")
+	}
+	if NewInjector(nil, 1, "test", p2p.NewMem()) != nil {
+		t.Fatal("nil plan built an injector")
+	}
+}
+
+func TestMangleDeterministicVariants(t *testing.T) {
+	data := bytes.Repeat([]byte("wire-packet"), 20)
+	a, b := Mangle(data, 9), Mangle(data, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Mangle is nondeterministic")
+	}
+	if len(a) != 3 {
+		t.Fatalf("Mangle returned %d variants, want 3", len(a))
+	}
+	for i, v := range a {
+		if bytes.Equal(v, data) {
+			t.Fatalf("variant %d identical to input", i)
+		}
+	}
+	if Mangle(nil, 9) != nil {
+		t.Fatal("Mangle(nil) should return nil")
+	}
+}

@@ -1,9 +1,14 @@
 package gnutella
 
 import (
+	"bufio"
 	"bytes"
 	"net"
 	"testing"
+	"time"
+
+	"p2pmalware/internal/faultsim"
+	"p2pmalware/internal/p2p"
 )
 
 // FuzzParsePong hammers the pong decoder with arbitrary payloads: it must
@@ -15,6 +20,11 @@ func FuzzParsePong(f *testing.F) {
 	f.Add(Pong{Port: 65535, IP: net.IPv4(255, 255, 255, 255), Files: ^uint32(0), KB: ^uint32(0)}.Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 0x02, 0x03})
+	// Fault-shaped seeds: the wire damage the injector actually inflicts
+	// (truncated prefixes, XOR bursts) applied to a valid pong.
+	for _, m := range faultsim.Mangle(Pong{Port: 6346, IP: net.IPv4(24, 16, 1, 9), Files: 7, KB: 99}.Encode(), 0x5EED) {
+		f.Add(m)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := ParsePong(b)
 		if err != nil {
@@ -23,6 +33,56 @@ func FuzzParsePong(f *testing.F) {
 		out := p.Encode()
 		if !bytes.Equal(out, b[:14]) {
 			t.Fatalf("pong round trip diverged:\n in  %x\n out %x", b[:14], out)
+		}
+	})
+}
+
+// FuzzDownloadResponse feeds the transfer client's HTTP response parser
+// raw wire bytes — including the truncated and bit-flipped shapes the
+// fault injector produces — through a real connection. It must never
+// panic or hang, never hand back a body past MaxTransferSize, and never
+// accept a body that contradicts an advertised content URN.
+func FuzzDownloadResponse(f *testing.F) {
+	body := []byte("malware sample body bytes")
+	urn := p2p.URNSHA1(body)
+	valid := []byte("HTTP/1.1 200 OK\r\nContent-Length: 25\r\n\r\n" + string(body))
+	withURN := []byte("HTTP/1.1 200 OK\r\nX-Gnutella-Content-URN: " + urn + "\r\nContent-Length: 25\r\n\r\n" + string(body))
+	f.Add(valid)
+	f.Add(withURN)
+	f.Add([]byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 99999999999999\r\n\r\n"))
+	f.Add([]byte{})
+	for _, m := range faultsim.Mangle(valid, 0x7A57) {
+		f.Add(m)
+	}
+	for _, m := range faultsim.Mangle(withURN, 0x7A58) {
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cli, srv := net.Pipe()
+		go func() {
+			br := bufio.NewReader(srv)
+			for {
+				line, err := br.ReadString('\n')
+				if err != nil || line == "\r\n" {
+					break
+				}
+			}
+			srv.Write(b)
+			srv.Close()
+		}()
+		cli.SetDeadline(ioDeadline(5 * time.Second))
+		got, err := httpGetBody(cli, bufio.NewReader(cli), 3, "sample.exe")
+		cli.Close()
+		if err != nil {
+			return
+		}
+		if len(got) > MaxTransferSize {
+			t.Fatalf("accepted %d-byte body past MaxTransferSize", len(got))
+		}
+		head, _, ok := bytes.Cut(b, []byte("\r\n\r\n"))
+		if ok && bytes.Contains(head, []byte("\r\nX-Gnutella-Content-URN: "+urn+"\r\n")) && p2p.URNSHA1(got) != urn {
+			t.Fatalf("accepted a body that contradicts its advertised URN")
 		}
 	})
 }

@@ -432,6 +432,31 @@ func (n *Node) NumPeers() (peers, leaves int) {
 	return n.countsLocked()
 }
 
+// QRPReadyLeaves returns how many connected leaves have delivered a QRP
+// route table. Population builders and churn wait on it: a freshly
+// attached leaf is invisible to query forwarding until its patch has been
+// applied, so measuring before then would nondeterministically drop its
+// responses.
+func (n *Node) QRPReadyLeaves() int {
+	n.mu.Lock()
+	leaves := make([]*peerConn, 0, len(n.peers))
+	for pc := range n.peers {
+		if pc.isLeaf {
+			leaves = append(leaves, pc)
+		}
+	}
+	n.mu.Unlock()
+	ready := 0
+	for _, pc := range leaves {
+		pc.qrpMu.Lock()
+		if pc.qrp != nil {
+			ready++
+		}
+		pc.qrpMu.Unlock()
+	}
+	return ready
+}
+
 func (n *Node) runPeer(pc *peerConn) {
 	defer n.removePeer(pc)
 	for {

@@ -1,0 +1,90 @@
+package gnutella
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2pmalware/internal/faultsim"
+	"p2pmalware/internal/p2p"
+)
+
+// flakyTransport fails the first fail dials with a retryable error, then
+// delegates, counting every dial.
+type flakyTransport struct {
+	inner p2p.Transport
+	fail  int32
+	dials atomic.Int32
+}
+
+func (f *flakyTransport) Listen(addr string) (net.Listener, error) { return f.inner.Listen(addr) }
+
+func (f *flakyTransport) Dial(addr string) (net.Conn, error) {
+	n := f.dials.Add(1)
+	if n <= f.fail {
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: errors.New("flaky: injected dial failure")}
+	}
+	return f.inner.Dial(addr)
+}
+
+func retryPolicy() p2p.RetryPolicy {
+	return p2p.RetryPolicy{Attempts: 3, AttemptTimeout: 5 * time.Second,
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond}
+}
+
+func TestDownloadWithRetryRecoversFromDialFailures(t *testing.T) {
+	mem, f, content := rangeServer(t)
+	flaky := &flakyTransport{inner: mem, fail: 2}
+	got, err := DownloadWithRetry(flaky, "srv:1", f.Index, f.Name, retryPolicy())
+	if err != nil {
+		t.Fatalf("retry download failed: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("retry download returned %d bytes, want %d", len(got), len(content))
+	}
+	if d := flaky.dials.Load(); d != 3 {
+		t.Fatalf("dial count = %d, want 3 (two failures, one success)", d)
+	}
+}
+
+func TestDownloadWithRetryStopsOnTerminalError(t *testing.T) {
+	mem, _, _ := rangeServer(t)
+	flaky := &flakyTransport{inner: mem}
+	_, err := DownloadWithRetry(flaky, "srv:1", 9999, "missing.exe", retryPolicy())
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if d := flaky.dials.Load(); d != 1 {
+		t.Fatalf("dial count = %d after terminal error, want 1", d)
+	}
+}
+
+func TestDownloadVerifiesContentURN(t *testing.T) {
+	mem, f, _ := rangeServer(t)
+	plan := faultsim.FaultPlan{Corrupt: 1}
+	inj := faultsim.NewInjector(&plan, 11, "gnutella-test", mem)
+	_, err := Download(inj.Transport("urn-check"), "srv:1", f.Index, f.Name)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted download err = %v, want ErrCorrupt", err)
+	}
+	// The same fetch through the raw transport verifies clean.
+	if _, err := Download(mem, "srv:1", f.Index, f.Name); err != nil {
+		t.Fatalf("clean download failed: %v", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	for _, err := range []error{ErrNotFound, ErrFirewalled} {
+		if Retryable(err) {
+			t.Fatalf("%v classified retryable", err)
+		}
+	}
+	for _, err := range []error{ErrCorrupt, ErrPushWait, errors.New("connection reset")} {
+		if !Retryable(err) {
+			t.Fatalf("%v classified terminal", err)
+		}
+	}
+}

@@ -32,7 +32,18 @@ var (
 	ErrNotFound   = errors.New("gnutella: file not found")
 	ErrFirewalled = errors.New("gnutella: servent is firewalled, use push")
 	ErrPushWait   = errors.New("gnutella: push callback never arrived")
+	// ErrCorrupt means the body's SHA1 did not match the servent's
+	// advertised X-Gnutella-Content-URN — bytes were damaged in flight.
+	ErrCorrupt = errors.New("gnutella: content hash mismatch")
 )
+
+// Retryable reports whether a transfer error is worth another attempt.
+// Not-found and firewalled are properties of the remote servent, not of
+// the attempt; everything else (dial refusal, reset, truncation, timeout,
+// corruption) can succeed on retry.
+func Retryable(err error) bool {
+	return !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrFirewalled)
+}
 
 // MaxTransferSize caps a single HTTP transfer body. A hostile servent
 // advertising a multi-gigabyte Content-Length must not be able to make
@@ -137,8 +148,15 @@ func (n *Node) serveRequest(c net.Conn, br *bufio.Reader, refuse bool) {
 		}
 		return
 	}
-	fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nServer: %s\r\nContent-Type: application/binary\r\nContent-Length: %d\r\n\r\n",
-		n.cfg.UserAgent, len(data))
+	// Advertise the content URN when we know it (HUGE spec), so the
+	// requester can verify the body end to end. Lazy files with no
+	// precomputed hash simply omit the header.
+	urnHdr := ""
+	if f.SHA1 != "" {
+		urnHdr = "X-Gnutella-Content-URN: " + f.SHA1 + "\r\n"
+	}
+	fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nServer: %s\r\nContent-Type: application/binary\r\n%sContent-Length: %d\r\n\r\n",
+		n.cfg.UserAgent, urnHdr, len(data))
 	if fields[0] == "GET" {
 		c.Write(data)
 		met.bytesOut.Add(int64(len(data)))
@@ -219,15 +237,46 @@ func writeHTTPError(c net.Conn, code int, text string) {
 // Download fetches /get/<index>/<name> from addr over the transport and
 // returns the body.
 func Download(tr p2p.Transport, addr string, index uint32, name string) ([]byte, error) {
+	return downloadOnce(tr, addr, index, name, 30*time.Second)
+}
+
+// downloadOnce performs one download attempt under one socket deadline.
+func downloadOnce(tr p2p.Transport, addr string, index uint32, name string, timeout time.Duration) ([]byte, error) {
 	c, err := tr.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("gnutella: download dial %s: %w", addr, err)
 	}
 	defer c.Close()
-	c.SetDeadline(ioDeadline(30 * time.Second))
+	c.SetDeadline(ioDeadline(timeout))
 	br := bufpool.GetReader(c)
 	defer bufpool.PutReader(br)
 	return httpGet(c, br, index, name)
+}
+
+// DownloadWithRetry fetches like Download but survives a hostile path:
+// each attempt runs under policy.AttemptTimeout, retryable failures back
+// off exponentially (capped, with deterministic per-key jitter — the
+// backoff runs on the wall clock and never touches trace time), and
+// terminal conditions (not found, firewalled) abort immediately.
+func DownloadWithRetry(tr p2p.Transport, addr string, index uint32, name string, policy p2p.RetryPolicy) ([]byte, error) {
+	policy = policy.WithDefaults()
+	key := fmt.Sprintf("%s/%d", addr, index)
+	var lastErr error
+	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		body, err := downloadOnce(tr, addr, index, name, policy.AttemptTimeout)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !Retryable(err) {
+			return nil, err
+		}
+		if attempt < policy.Attempts {
+			met.retries.Inc()
+			simclock.Sleep(ioClock, policy.Delay(key, attempt))
+		}
+	}
+	return nil, lastErr
 }
 
 // httpGet issues the GET for a file on an established connection and reads
@@ -257,6 +306,7 @@ func httpGetBody(c net.Conn, br *bufio.Reader, index uint32, name string) ([]byt
 	}
 	code, _ := strconv.Atoi(fields[1])
 	var contentLength int64 = -1
+	var urn string
 	for {
 		h, err := br.ReadString('\n')
 		if err != nil {
@@ -266,8 +316,13 @@ func httpGetBody(c net.Conn, br *bufio.Reader, index uint32, name string) ([]byt
 		if h == "" {
 			break
 		}
-		if i := strings.IndexByte(h, ':'); i > 0 && strings.EqualFold(strings.TrimSpace(h[:i]), "Content-Length") {
-			contentLength, _ = strconv.ParseInt(strings.TrimSpace(h[i+1:]), 10, 64)
+		if i := strings.IndexByte(h, ':'); i > 0 {
+			switch {
+			case strings.EqualFold(strings.TrimSpace(h[:i]), "Content-Length"):
+				contentLength, _ = strconv.ParseInt(strings.TrimSpace(h[i+1:]), 10, 64)
+			case strings.EqualFold(strings.TrimSpace(h[:i]), "X-Gnutella-Content-URN"):
+				urn = strings.TrimSpace(h[i+1:])
+			}
 		}
 	}
 	switch code {
@@ -279,7 +334,19 @@ func httpGetBody(c net.Conn, br *bufio.Reader, index uint32, name string) ([]byt
 	default:
 		return nil, fmt.Errorf("gnutella: download status %d", code)
 	}
-	return readBody(br, contentLength)
+	body, err := readBody(br, contentLength)
+	if err != nil {
+		return nil, err
+	}
+	// End-to-end integrity: when the servent advertised the content URN,
+	// a body that hashes differently was damaged in flight. Surfacing
+	// ErrCorrupt (retryable) instead of the bad bytes keeps wire damage
+	// from silently relabeling a specimen as clean content.
+	if urn != "" && p2p.URNSHA1(body) != urn {
+		met.corrupt.Inc()
+		return nil, ErrCorrupt
+	}
+	return body, nil
 }
 
 // DownloadRange fetches length bytes starting at offset (length < 0 means

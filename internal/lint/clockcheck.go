@@ -7,9 +7,10 @@ import (
 
 // clockRestricted matches the packages whose behaviour must be driven by
 // the simulated clock: the protocol node layers, the network builder, the
-// study driver, the workload generator, and the telemetry layer. A raw
-// wall-clock read in any of them makes a 30-day trace non-reproducible.
-var clockRestricted = regexp.MustCompile(`internal/(gnutella|openft|netsim|core|workload|obs)(/|$)`)
+// study driver, the workload generator, the fault injector, and the
+// telemetry layer. A raw wall-clock read in any of them makes a 30-day
+// trace non-reproducible.
+var clockRestricted = regexp.MustCompile(`internal/(gnutella|openft|netsim|core|workload|obs|faultsim)(/|$)`)
 
 // bannedTimeFuncs are the time-package entry points that read or wait on
 // the wall clock. Pure types and constants (time.Duration, time.Second,

@@ -26,7 +26,7 @@ var LeakCheck = &Analyzer{
 
 // leakScopeRe limits the check to the layers that spawn per-peer
 // goroutines; simulation drivers and one-shot tools are exempt.
-var leakScopeRe = regexp.MustCompile(`internal/(gnutella|openft|p2p|core|netsim|obs)(/|$)`)
+var leakScopeRe = regexp.MustCompile(`internal/(gnutella|openft|p2p|core|netsim|obs|faultsim)(/|$)`)
 
 func leakRun(pass *Pass) error {
 	if !leakScopeRe.MatchString(pass.Path) {

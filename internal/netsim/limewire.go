@@ -134,6 +134,12 @@ func (n *LimeWireNet) Close() {
 // leaves at new addresses. Echo hosts and tail infections persist,
 // matching the paper's observation that malware sources were stable over
 // the trace. It returns how many leaves were replaced.
+//
+// ChurnHonest returns only once the overlay has fully re-formed: the
+// departed leaves are deregistered and every replacement is registered
+// with a QRP table applied. Callers churn behind a pipeline barrier, so
+// this wait is what makes mid-study churn deterministic — the next query
+// floods a completely settled population, never a half-attached one.
 func (n *LimeWireNet) ChurnHonest(frac float64) (int, error) {
 	if frac <= 0 {
 		return 0, nil
@@ -150,8 +156,15 @@ func (n *LimeWireNet) ChurnHonest(frac float64) (int, error) {
 	if factory == nil {
 		return 0, fmt.Errorf("netsim: network does not support churn")
 	}
+	before := n.leafTotal()
 	for _, node := range leaving {
 		node.Close()
+	}
+	// Departures deregister asynchronously (the ultrapeer's reader sees
+	// the closed conn); wait them out before attaching replacements so
+	// the arrival wait below cannot be satisfied by a zombie.
+	if err := n.waitLeaves(func() bool { return n.leafTotal() <= before-k }, "leaf departures"); err != nil {
+		return 0, err
 	}
 	for i := 0; i < k; i++ {
 		n.mu.Lock()
@@ -168,7 +181,47 @@ func (n *LimeWireNet) ChurnHonest(frac float64) (int, error) {
 		n.Specs = append(n.Specs, spec)
 		n.mu.Unlock()
 	}
+	if err := n.waitLeaves(func() bool {
+		return n.leafTotal() >= before && n.qrpReadyTotal() >= before
+	}, "replacement leaves"); err != nil {
+		return 0, err
+	}
 	return k, nil
+}
+
+// leafTotal sums registered leaf connections across the ultrapeer core.
+func (n *LimeWireNet) leafTotal() int {
+	total := 0
+	for _, up := range n.Ultrapeers {
+		_, l := up.NumPeers()
+		total += l
+	}
+	return total
+}
+
+// qrpReadyTotal sums leaves whose QRP table has been applied — only those
+// are reachable by query forwarding.
+func (n *LimeWireNet) qrpReadyTotal() int {
+	total := 0
+	for _, up := range n.Ultrapeers {
+		total += up.QRPReadyLeaves()
+	}
+	return total
+}
+
+// waitLeaves polls real goroutine progress (acceptor registration, QRP
+// patch application), so it runs on the wall clock even when the trace
+// clock is virtual.
+func (n *LimeWireNet) waitLeaves(formed func() bool, what string) error {
+	wall := simclock.Real{}
+	deadline := wall.Now().Add(10 * time.Second)
+	for !formed() {
+		if wall.Now().After(deadline) {
+			return fmt.Errorf("netsim: %s never settled", what)
+		}
+		wall.Sleep(2 * time.Millisecond)
+	}
+	return nil
 }
 
 // LiveHonestLeaves returns the number of currently-live honest leaves.
@@ -397,32 +450,19 @@ func BuildLimeWire(cfg LimeWireConfig) (*LimeWireNet, error) {
 	}
 
 	// Connect() returns once the dialer's side is up; the accepting
-	// ultrapeer registers the peer asynchronously. Wait for the whole
-	// population to be registered so measurement starts on a fully-formed
-	// overlay.
+	// ultrapeer registers the peer — and applies its QRP patch — on its
+	// own goroutines. Wait for the whole population to be registered and
+	// query-reachable so measurement starts on a fully-formed overlay.
 	wantLeaves := 0
 	for _, spec := range net_.Specs {
 		if spec.Kind != KindUltrapeer {
 			wantLeaves++
 		}
 	}
-	// This polls real goroutine progress (the acceptors' registration),
-	// so it runs on the wall clock even when the trace is virtual-time.
-	wall := simclock.Real{}
-	deadline := wall.Now().Add(10 * time.Second)
-	for {
-		total := 0
-		for _, up := range net_.Ultrapeers {
-			_, l := up.NumPeers()
-			total += l
-		}
-		if total >= wantLeaves {
-			break
-		}
-		if wall.Now().After(deadline) {
-			return fail(fmt.Errorf("netsim: only %d of %d leaves registered", total, wantLeaves))
-		}
-		wall.Sleep(2 * time.Millisecond)
+	if err := net_.waitLeaves(func() bool {
+		return net_.leafTotal() >= wantLeaves && net_.qrpReadyTotal() >= wantLeaves
+	}, "initial population"); err != nil {
+		return fail(err)
 	}
 
 	return net_, nil
@@ -453,6 +493,11 @@ func buildEchoNode(mem *p2p.Mem, spec *HostSpec, f *malware.Family, hostIdx int)
 				Index: specimen.Index,
 				Size:  uint32(specimen.Size),
 				Name:  f.ResponseFilename(q.Criteria, nameRNG),
+				// Real echo responders advertised the HUGE URN of their
+				// one replicated payload under every decoy name; carrying
+				// it lets a hardened client verify the body and find
+				// alternate sources for the same content.
+				Extensions: specimen.SHA1,
 			}}
 		},
 	})

@@ -282,6 +282,73 @@ func tailCount(n *LimeWireNet) int {
 	return c
 }
 
+func TestChurnHonestSettlesQRP(t *testing.T) {
+	net_, err := BuildLimeWire(LimeWireConfig{Seed: 7, Ultrapeers: 2, HonestLeaves: 12, EchoHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+	want := net_.leafTotal()
+	if _, err := net_.ChurnHonest(0.5); err != nil {
+		t.Fatal(err)
+	}
+	// ChurnHonest promises a fully re-formed overlay on return: no poll
+	// here, the counts must already be right.
+	if got := net_.leafTotal(); got != want {
+		t.Fatalf("leaf total immediately after churn = %d, want %d", got, want)
+	}
+	if got := net_.qrpReadyTotal(); got != want {
+		t.Fatalf("QRP-ready leaves immediately after churn = %d, want %d", got, want)
+	}
+}
+
+func TestChurnUsersOpenFT(t *testing.T) {
+	net_, err := BuildOpenFT(OpenFTConfig{Seed: 5, SearchNodes: 2, HonestUsers: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net_.Close()
+	beforeChildren, beforeShares := net_.childTotal(), net_.shareTotal()
+	if net_.LiveHonestUsers() != 12 {
+		t.Fatalf("live honest users = %d", net_.LiveHonestUsers())
+	}
+	oldAddrs := map[string]bool{}
+	for _, s := range net_.Specs {
+		if s.Kind == KindHonestUser {
+			oldAddrs[s.Addr()] = true
+		}
+	}
+	replaced, err := net_.ChurnUsers(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced != 3 {
+		t.Fatalf("replaced = %d, want 3", replaced)
+	}
+	if got := net_.LiveHonestUsers(); got != 12 {
+		t.Fatalf("live honest after churn = %d", got)
+	}
+	// ChurnUsers promises a fully re-formed tier on return.
+	if got := net_.childTotal(); got != beforeChildren {
+		t.Fatalf("children after churn = %d, want %d", got, beforeChildren)
+	}
+	if got := net_.shareTotal(); got != beforeShares {
+		t.Fatalf("shares after churn = %d, want %d", got, beforeShares)
+	}
+	fresh := 0
+	for _, s := range net_.Specs[len(net_.Specs)-3:] {
+		if s.Kind != KindHonestUser {
+			t.Fatalf("replacement kind = %s", s.Kind)
+		}
+		if !oldAddrs[s.Addr()] {
+			fresh++
+		}
+	}
+	if fresh != 3 {
+		t.Fatalf("fresh addresses = %d", fresh)
+	}
+}
+
 func TestChurnZeroFrac(t *testing.T) {
 	net_, err := BuildLimeWire(LimeWireConfig{Seed: 4, Ultrapeers: 1, HonestLeaves: 5, EchoHosts: 2})
 	if err != nil {

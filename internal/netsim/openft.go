@@ -2,11 +2,14 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"p2pmalware/internal/ipaddr"
 	"p2pmalware/internal/malware"
 	"p2pmalware/internal/openft"
 	"p2pmalware/internal/p2p"
+	"p2pmalware/internal/simclock"
 	"p2pmalware/internal/stats"
 	"p2pmalware/internal/workload"
 )
@@ -71,6 +74,15 @@ type OpenFTNet struct {
 	Nodes []*openft.Node
 	// Specs describe every synthesized host, parallel to Nodes.
 	Specs []*HostSpec
+
+	mu sync.Mutex
+	// honest tracks the currently-live honest users for churn.
+	honest []*openft.Node
+	// sharesPerHonest is how many shares each honest user registers.
+	sharesPerHonest int
+	// newHonestUser builds and attaches one fresh honest user.
+	newHonestUser func(attachIdx int) (*openft.Node, *HostSpec, error)
+	churnID       int
 }
 
 // SearchAddrs returns dialable SEARCH-node addresses.
@@ -84,9 +96,107 @@ func (n *OpenFTNet) SearchAddrs() []string {
 
 // Close shuts every node down.
 func (n *OpenFTNet) Close() {
-	for _, node := range n.Nodes {
+	n.mu.Lock()
+	nodes := append([]*openft.Node(nil), n.Nodes...)
+	n.mu.Unlock()
+	for _, node := range nodes {
 		node.Close()
 	}
+}
+
+// LiveHonestUsers returns the number of currently-live honest users.
+func (n *OpenFTNet) LiveHonestUsers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.honest)
+}
+
+// childTotal sums registered children across the SEARCH tier.
+func (n *OpenFTNet) childTotal() int {
+	total := 0
+	for _, s := range n.SearchNodes {
+		total += s.Children()
+	}
+	return total
+}
+
+// shareTotal sums registered child shares across the SEARCH tier.
+func (n *OpenFTNet) shareTotal() int {
+	total := 0
+	for _, s := range n.SearchNodes {
+		total += s.ChildShareCount()
+	}
+	return total
+}
+
+// waitFormed polls real goroutine progress (child registration, ADDSHARE
+// application), so it runs on the wall clock even when the trace clock is
+// virtual.
+func (n *OpenFTNet) waitFormed(formed func() bool, what string) error {
+	wall := simclock.Real{}
+	deadline := wall.Now().Add(10 * time.Second)
+	for !formed() {
+		if wall.Now().After(deadline) {
+			return fmt.Errorf("netsim: %s never settled", what)
+		}
+		wall.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// ChurnUsers models population turnover on the OpenFT side: a fraction
+// frac of honest users leaves (their shares disappear from the SEARCH
+// tier) and the same number of fresh users joins at new addresses.
+// Infected users persist, matching the paper's observation that malware
+// sources were stable over the trace. Like LimeWireNet.ChurnHonest, it
+// returns only once the tier has fully re-formed — departures purged,
+// replacements registered with all shares applied — so churn behind a
+// pipeline barrier stays deterministic.
+func (n *OpenFTNet) ChurnUsers(frac float64) (int, error) {
+	if frac <= 0 {
+		return 0, nil
+	}
+	n.mu.Lock()
+	k := int(frac * float64(len(n.honest)))
+	if k > len(n.honest) {
+		k = len(n.honest)
+	}
+	leaving := n.honest[:k]
+	n.honest = append([]*openft.Node(nil), n.honest[k:]...)
+	factory := n.newHonestUser
+	perUser := n.sharesPerHonest
+	n.mu.Unlock()
+	if factory == nil {
+		return 0, fmt.Errorf("netsim: network does not support churn")
+	}
+	beforeChildren, beforeShares := n.childTotal(), n.shareTotal()
+	for _, node := range leaving {
+		node.Close()
+	}
+	if err := n.waitFormed(func() bool {
+		return n.childTotal() <= beforeChildren-k && n.shareTotal() <= beforeShares-k*perUser
+	}, "user departures"); err != nil {
+		return 0, err
+	}
+	for i := 0; i < k; i++ {
+		n.mu.Lock()
+		n.churnID++
+		id := n.churnID
+		n.mu.Unlock()
+		node, _, err := factory(id)
+		if err != nil {
+			return i, err
+		}
+		n.mu.Lock()
+		n.honest = append(n.honest, node)
+		n.mu.Unlock()
+	}
+	if err := n.waitFormed(func() bool {
+		return n.childTotal() >= beforeChildren && n.shareTotal() >= beforeShares
+	}, "replacement users"); err != nil {
+		return 0, err
+	}
+	return k, nil
 }
 
 // BuildOpenFT synthesizes and starts the simulated OpenFT universe.
@@ -145,6 +255,9 @@ func BuildOpenFT(cfg OpenFTConfig) (*OpenFTNet, error) {
 		}
 	}
 
+	// wantChildren/wantShares accumulate what a fully-formed SEARCH tier
+	// must report before measurement (or churn) may proceed.
+	wantChildren, wantShares := 0, 0
 	addUser := func(spec *HostSpec, lib *p2p.Library, parent int) (*openft.Node, error) {
 		node := openft.NewNode(openft.Config{
 			Class: openft.ClassUser, Transport: mem,
@@ -158,31 +271,48 @@ func BuildOpenFT(cfg OpenFTConfig) (*OpenFTNet, error) {
 			node.Close()
 			return nil, err
 		}
+		net_.mu.Lock()
 		net_.Nodes = append(net_.Nodes, node)
 		net_.Specs = append(net_.Specs, spec)
+		net_.mu.Unlock()
+		wantChildren++
+		wantShares += lib.Len()
 		return node, nil
 	}
 
-	// Honest users.
+	// Honest users. The factory is retained on the net for churn: fresh
+	// users draw new addresses and new shared folders from the same
+	// deterministic streams.
 	corpus := gen.Corpus()
 	termPick := stats.NewZipf(rng, cfg.ZipfExponent, len(corpus))
-	for i := 0; i < cfg.HonestUsers; i++ {
+	buildHonest := func(attachIdx int) (*openft.Node, *HostSpec, error) {
 		ip, err := pubPool.Next()
 		if err != nil {
-			return fail(err)
+			return nil, nil, err
 		}
 		lib := p2p.NewLibrary()
 		for fidx := 0; fidx < cfg.FilesPerUser; fidx++ {
 			term := corpus[termPick.Next()]
 			downloadable := rng.Bool(cfg.HonestDownloadableShare)
 			if _, err := lib.Add(honestFile(term, rng.IntN(100), downloadable, rng)); err != nil {
-				return fail(err)
+				return nil, nil, err
 			}
 		}
 		spec := &HostSpec{Kind: KindHonestUser, IP: ip, Port: 1216, ListenKey: fmt.Sprintf("%s:1216", ip)}
-		if _, err := addUser(spec, lib, i); err != nil {
+		node, err := addUser(spec, lib, attachIdx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return node, spec, nil
+	}
+	net_.newHonestUser = buildHonest
+	net_.sharesPerHonest = cfg.FilesPerUser
+	for i := 0; i < cfg.HonestUsers; i++ {
+		node, _, err := buildHonest(i)
+		if err != nil {
 			return fail(err)
 		}
+		net_.honest = append(net_.honest, node)
 	}
 
 	// Infected users. The response-volume budget per family is its
@@ -254,6 +384,16 @@ func BuildOpenFT(cfg OpenFTConfig) (*OpenFTNet, error) {
 				return fail(err)
 			}
 		}
+	}
+
+	// BecomeChildOf returns once the parent accepts the child; the
+	// ADDSHARE stream is applied by the parent's reader afterwards. Wait
+	// until every share is searchable so measurement starts on a
+	// fully-formed tier.
+	if err := net_.waitFormed(func() bool {
+		return net_.childTotal() >= wantChildren && net_.shareTotal() >= wantShares
+	}, "initial population"); err != nil {
+		return fail(err)
 	}
 
 	return net_, nil

@@ -23,6 +23,8 @@ type metrics struct {
 	bytesIn     *obs.Counter
 	bytesOut    *obs.Counter
 	clamped     *obs.Counter
+	corrupt     *obs.Counter
+	retries     *obs.Counter
 	transferDur *obs.Histogram
 }
 
@@ -40,6 +42,8 @@ func newMetrics() *metrics {
 		bytesIn:            obs.C("p2p_transfer_bytes_total", "network", "openft", "dir", "in"),
 		bytesOut:           obs.C("p2p_transfer_bytes_total", "network", "openft", "dir", "out"),
 		clamped:            obs.C("p2p_transfer_clamped_total", "network", "openft"),
+		corrupt:            obs.C("p2p_transfer_corrupt_total", "network", "openft"),
+		retries:            obs.C("p2p_transfer_retries_total", "network", "openft"),
 		transferDur:        obs.H("p2p_transfer_duration_us", obs.LatencyBuckets, "network", "openft"),
 	}
 	m.rx = make([]*obs.Counter, knownCmdCount+1)

@@ -429,6 +429,28 @@ func (n *Node) addSession(s *session) bool {
 	return true
 }
 
+// Children returns the number of registered child sessions. Population
+// builders and churn wait on it together with ChildShareCount: a child's
+// shares register asynchronously after the handshake, and a search that
+// races the registration would nondeterministically miss its files.
+func (n *Node) Children() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.childShares)
+}
+
+// ChildShareCount returns the total number of shares registered across
+// all children.
+func (n *Node) ChildShareCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, shares := range n.childShares {
+		total += len(shares)
+	}
+	return total
+}
+
 func (n *Node) removeSession(s *session) {
 	n.mu.Lock()
 	if _, ok := n.sessions[s]; ok {

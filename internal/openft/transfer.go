@@ -2,6 +2,8 @@ package openft
 
 import (
 	"bufio"
+	"crypto/md5"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +26,17 @@ import (
 // ErrNotFound is returned when the remote does not share the requested
 // hash.
 var ErrNotFound = errors.New("openft: file not found")
+
+// ErrCorrupt means the body did not hash to the MD5 it was requested by —
+// bytes were damaged in flight.
+var ErrCorrupt = errors.New("openft: content hash mismatch")
+
+// Retryable reports whether a transfer error is worth another attempt.
+// Not-found is a property of the remote node; everything else (dial
+// refusal, reset, truncation, timeout, corruption) can succeed on retry.
+func Retryable(err error) bool {
+	return !errors.Is(err, ErrNotFound)
+}
 
 // MaxTransferSize caps a single HTTP transfer body; a hostile child
 // advertising an absurd Content-Length must not drive a one-shot
@@ -108,21 +121,50 @@ func (n *Node) serveHTTP(c net.Conn, br *bufio.Reader) {
 // are wall time (they bound real socket activity) and feed the
 // transfer-latency histogram, never trace events.
 func Download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
+	return downloadTimed(tr, addr, md5sum, 30*time.Second)
+}
+
+// DownloadWithRetry fetches like Download but survives a hostile path:
+// per-attempt timeouts, capped exponential backoff with deterministic
+// per-key jitter between retryable failures (wall clock only, never trace
+// time), and immediate abort on terminal conditions.
+func DownloadWithRetry(tr p2p.Transport, addr, md5sum string, policy p2p.RetryPolicy) ([]byte, error) {
+	policy = policy.WithDefaults()
+	key := addr + "/" + md5sum
+	var lastErr error
+	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		body, err := downloadTimed(tr, addr, md5sum, policy.AttemptTimeout)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !Retryable(err) {
+			return nil, err
+		}
+		if attempt < policy.Attempts {
+			met.retries.Inc()
+			simclock.Sleep(ioClock, policy.Delay(key, attempt))
+		}
+	}
+	return nil, lastErr
+}
+
+func downloadTimed(tr p2p.Transport, addr, md5sum string, timeout time.Duration) ([]byte, error) {
 	start := ioClock.Now()
-	body, err := download(tr, addr, md5sum)
+	body, err := download(tr, addr, md5sum, timeout)
 	if err == nil {
 		met.transferDur.ObserveDuration(simclock.Since(ioClock, start))
 	}
 	return body, err
 }
 
-func download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
+func download(tr p2p.Transport, addr, md5sum string, timeout time.Duration) ([]byte, error) {
 	c, err := tr.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("openft: download dial %s: %w", addr, err)
 	}
 	defer c.Close()
-	c.SetDeadline(ioDeadline(30 * time.Second))
+	c.SetDeadline(ioDeadline(timeout))
 	if _, err := fmt.Fprintf(c, "GET /md5/%s HTTP/1.1\r\nConnection: close\r\n\r\n", md5sum); err != nil {
 		return nil, fmt.Errorf("openft: download write: %w", err)
 	}
@@ -158,7 +200,19 @@ func download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("openft: download status %d", code)
 	}
-	return readBody(br, contentLength)
+	body, err := readBody(br, contentLength)
+	if err != nil {
+		return nil, err
+	}
+	// The request addresses content by MD5, so the expected digest is the
+	// request itself. A mismatched body was damaged in flight; surfacing
+	// ErrCorrupt (retryable) keeps wire damage from silently relabeling a
+	// specimen as clean content.
+	if sum := md5.Sum(body); !strings.EqualFold(hex.EncodeToString(sum[:]), md5sum) {
+		met.corrupt.Inc()
+		return nil, ErrCorrupt
+	}
+	return body, nil
 }
 
 // ShareMD5 exposes the cached MD5 of a library file (hashing it if

@@ -1,0 +1,81 @@
+package p2p
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy shapes a transfer path's retry loop: bounded attempts, a
+// per-attempt socket deadline, and capped exponential backoff between
+// attempts. Backoff jitter is derived from (Seed, key, attempt) — never
+// from a shared random stream — so same-seed runs sleep the same
+// schedule no matter how goroutines interleave.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (not retries); <1 means the
+	// default.
+	Attempts int
+	// AttemptTimeout bounds each attempt's socket I/O.
+	AttemptTimeout time.Duration
+	// BackoffBase is the delay after the first failed attempt; it doubles
+	// per attempt up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth.
+	BackoffMax time.Duration
+	// Seed keys the jitter PRF.
+	Seed uint64
+}
+
+// DefaultRetryPolicy is the transfer-path default: three attempts with
+// 10ms→250ms backoff. AttemptTimeout stays generous because the in-memory
+// fabric is fast and real deployments set their own.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts:       3,
+	AttemptTimeout: 30 * time.Second,
+	BackoffBase:    10 * time.Millisecond,
+	BackoffMax:     250 * time.Millisecond,
+}
+
+// WithDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	d := DefaultRetryPolicy
+	if p.Attempts >= 1 {
+		d.Attempts = p.Attempts
+	}
+	if p.AttemptTimeout > 0 {
+		d.AttemptTimeout = p.AttemptTimeout
+	}
+	if p.BackoffBase > 0 {
+		d.BackoffBase = p.BackoffBase
+	}
+	if p.BackoffMax > 0 {
+		d.BackoffMax = p.BackoffMax
+	}
+	d.Seed = p.Seed
+	return d
+}
+
+// Delay returns the backoff to sleep after failed attempt number attempt
+// (1-based): exponential growth capped at BackoffMax, then jittered into
+// [delay/2, delay] by a PRF over (Seed, key, attempt).
+func (p RetryPolicy) Delay(key string, attempt int) time.Duration {
+	if p.BackoffBase <= 0 || attempt < 1 {
+		return 0
+	}
+	delay := p.BackoffBase
+	for i := 1; i < attempt && delay < p.BackoffMax; i++ {
+		delay *= 2
+	}
+	if p.BackoffMax > 0 && delay > p.BackoffMax {
+		delay = p.BackoffMax
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(p.Seed >> (8 * i))
+		buf[8+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	half := delay / 2
+	return half + time.Duration(h.Sum64()%uint64(delay-half+1))
+}
