@@ -1,6 +1,6 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same gates.
 
-.PHONY: build test race lint fuzz-smoke chaos golden bench ci
+.PHONY: build test race lint fuzz-smoke chaos golden bench bench-diff ci
 
 build:
 	go build ./...
@@ -50,4 +50,10 @@ bench:
 	go run ./cmd/benchjson -o BENCH_5.json < bench.out >/dev/null
 	rm -f bench.out
 
-ci: build lint race golden chaos fuzz-smoke
+# Bench-regression gate: diff the two newest committed BENCH_<n>.json
+# artifacts and fail on a >15% ns/op regression in the headline (hotpath)
+# benchmarks. CI runs this as its own job.
+bench-diff:
+	go run ./cmd/benchdiff
+
+ci: build lint race golden chaos fuzz-smoke bench-diff

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareFlagsOnlyHeadlineRegressions(t *testing.T) {
+	old := map[string]Summary{
+		"BenchmarkHot":  {NsPerOp: 100},
+		"BenchmarkCold": {NsPerOp: 100},
+	}
+	new := map[string]Summary{
+		"BenchmarkHot":  {NsPerOp: 130}, // +30%, gated
+		"BenchmarkCold": {NsPerOp: 300}, // +200%, not headline
+	}
+	deltas, missing := compare(old, new, map[string]bool{"BenchmarkHot": true})
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	var failures []string
+	for _, d := range deltas {
+		if d.regression(15) {
+			failures = append(failures, d.name)
+		}
+	}
+	if len(failures) != 1 || failures[0] != "BenchmarkHot" {
+		t.Fatalf("regressions = %v, want [BenchmarkHot]", failures)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := map[string]Summary{"BenchmarkHot": {NsPerOp: 100}}
+	new := map[string]Summary{"BenchmarkHot": {NsPerOp: 114.9}}
+	deltas, _ := compare(old, new, map[string]bool{"BenchmarkHot": true})
+	for _, d := range deltas {
+		if d.regression(15) {
+			t.Fatalf("%s flagged at +%.1f%%, threshold 15%%", d.name, d.pct)
+		}
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	old := map[string]Summary{"BenchmarkHot": {NsPerOp: 200}}
+	new := map[string]Summary{"BenchmarkHot": {NsPerOp: 50}}
+	deltas, _ := compare(old, new, map[string]bool{"BenchmarkHot": true})
+	for _, d := range deltas {
+		if d.regression(15) {
+			t.Fatalf("improvement flagged as regression: %+v", d)
+		}
+	}
+}
+
+func TestCompareMissingHeadlineIsReportedNotGated(t *testing.T) {
+	old := map[string]Summary{"BenchmarkOther": {NsPerOp: 10}}
+	new := map[string]Summary{"BenchmarkOther": {NsPerOp: 10}}
+	deltas, missing := compare(old, new, map[string]bool{"BenchmarkGone": true})
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v, want [BenchmarkGone]", missing)
+	}
+	for _, d := range deltas {
+		if d.regression(15) {
+			t.Fatalf("unexpected regression: %+v", d)
+		}
+	}
+}
+
+func TestDiscoverPicksTwoNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_4.json", "BENCH_10.json", "BENCH.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, new, err := discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(old) != "BENCH_4.json" || filepath.Base(new) != "BENCH_10.json" {
+		t.Fatalf("discover = %s, %s; want BENCH_4.json, BENCH_10.json", old, new)
+	}
+}
+
+func TestDiscoverNeedsTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := discover(dir); err == nil {
+		t.Fatal("discover with one file succeeded, want error")
+	}
+}
+
+func TestLoadRejectsMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("load of malformed JSON succeeded, want error")
+	}
+}

@@ -1,8 +1,9 @@
 // Command p2plint runs the repository's custom static-analysis suite
-// (clockcheck, lockcheck, wirecheck, errwrap, plus the dataflow-based
-// taintcheck, leakcheck, and exhaustcheck — see internal/lint) over the
-// given packages and exits non-zero on any finding. It is part of the CI
-// merge gate:
+// (clockcheck, lockcheck, wirecheck, errwrap, the interprocedural
+// taintcheck, leakcheck, exhaustcheck, and the determinism/concurrency/
+// allocation guards detercheck, atomiccheck, and allocheck — see
+// internal/lint) over the given packages and exits non-zero on any
+// finding. It is part of the CI merge gate:
 //
 //	go run ./cmd/p2plint ./...
 //

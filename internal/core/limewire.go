@@ -257,7 +257,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 			var floodErr error
 			pl.submit(&pipeTask{
 				collect: func() {
-					col := &lwCollector{set: newSettler(simclock.Real{})}
+					col := &lwCollector{set: newSettler(wallClock)}
 					g := guid.New()
 					demux.put(g, col)
 					if err := client.QueryWith(g, term.Text, ""); err != nil {

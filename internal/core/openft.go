@@ -230,7 +230,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 			var floodErr error
 			pl.submit(&pipeTask{
 				collect: func() {
-					col := &ftCollector{set: newSettler(simclock.Real{})}
+					col := &ftCollector{set: newSettler(wallClock)}
 					id := openft.NewSearchID()
 					demux.put(id, col)
 					if err := client.SearchWith(id, term.Text); err != nil {

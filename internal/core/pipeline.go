@@ -119,6 +119,8 @@ func newPipeline(workers int, met *netMetrics) *pipeline {
 // submit enqueues one task. Must be called from the virtual-clock
 // goroutine only; submission order is commit order. Blocks when the
 // pipeline is at capacity, which throttles query issuance.
+//
+// lint:hotpath
 func (p *pipeline) submit(t *pipeTask) {
 	t.ready = make(chan struct{})
 	p.mu.Lock()
@@ -133,6 +135,8 @@ func (p *pipeline) submit(t *pipeTask) {
 // virtual-clock goroutine before churn mutates the network and before
 // progress events read the tally, preserving the sequential engine's
 // ordering at those points.
+//
+// lint:hotpath
 func (p *pipeline) barrier() {
 	p.mu.Lock()
 	for p.committed < p.submitted {
@@ -283,6 +287,8 @@ func newBreaker() *breaker {
 }
 
 // allowed reports whether direct fetches to host may proceed this epoch.
+//
+// lint:hotpath
 func (b *breaker) allowed(host string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -291,6 +297,8 @@ func (b *breaker) allowed(host string) bool {
 
 // record tallies one committed direct-fetch outcome for host. Fast-fail
 // outcomes against an already-open host do not re-count.
+//
+// lint:hotpath
 func (b *breaker) record(host string, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

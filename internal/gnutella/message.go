@@ -116,6 +116,8 @@ type Pong struct {
 }
 
 // Encode returns the 14-byte pong payload.
+//
+// lint:hotpath
 func (p Pong) Encode() []byte {
 	b := make([]byte, 14)
 	binary.LittleEndian.PutUint16(b[0:], p.Port)
@@ -151,6 +153,8 @@ type Query struct {
 }
 
 // Encode returns the query payload.
+//
+// lint:hotpath
 func (q Query) Encode() []byte {
 	b := make([]byte, 2, 2+len(q.Criteria)+1+len(q.Extensions)+1)
 	binary.LittleEndian.PutUint16(b, q.MinSpeed)
@@ -323,6 +327,8 @@ type Push struct {
 }
 
 // Encode returns the 26-byte push payload.
+//
+// lint:hotpath
 func (p Push) Encode() []byte {
 	b := make([]byte, 26)
 	copy(b[0:16], p.ServentID[:])
@@ -356,6 +362,8 @@ type Bye struct {
 }
 
 // Encode returns the bye payload.
+//
+// lint:hotpath
 func (b Bye) Encode() []byte {
 	out := make([]byte, 2, 2+len(b.Reason)+1)
 	binary.LittleEndian.PutUint16(out, b.Code)

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllocCheck keeps the zero-allocation contract of `// lint:hotpath`
+// functions honest at the source level. The hot paths — the scanner
+// automaton step, the wire encode/decode helpers, the telemetry counters,
+// the pipeline commit path — are covered by testing.AllocsPerRun == 0
+// assertions, but those only fail after the allocation has landed and only
+// for the inputs the benchmark happens to drive. This check rejects the
+// constructs that allocate (or box through an interface) on every
+// execution, at review time:
+//
+//   - slice and map composite literals ([]byte{...}, map[k]v{...});
+//     fixed-size array literals stay on the stack and are allowed
+//   - &T{} literals, which escape by construction
+//   - fmt.* and log.* calls, which box every variadic argument into an
+//     interface value
+//   - string concatenation (evidenced by a string-literal operand)
+//   - function literals, which allocate a closure when they capture
+//
+// make() is deliberately not banned: the hot paths use amortized,
+// capacity-reusing make calls (a lazily grown visited set, a pre-sized
+// write buffer) whose steady-state allocation count is zero, and the
+// AllocsPerRun assertions hold exactly that steady state to zero.
+var AllocCheck = &Analyzer{
+	Name: "allocheck",
+	Doc:  "functions annotated `// lint:hotpath` must not contain heap-escaping composite literals, fmt/log calls, string concatenation, or closures",
+	Run:  allocRun,
+}
+
+// hotpathMarker is the annotation that opts a function into the check.
+const hotpathMarker = "lint:hotpath"
+
+func allocRun(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// hotpath annotation.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotpathBody walks one hotpath function body for allocating
+// constructs.
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure in hotpath function %s: capturing function literals allocate; hoist the logic into a named method", name)
+			// The literal's own body is not a hot path.
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&T{} literal in hotpath function %s escapes to the heap; reuse a preallocated value", name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch t := x.Type.(type) {
+			case *ast.ArrayType:
+				if t.Len == nil {
+					pass.Reportf(x.Pos(), "slice literal in hotpath function %s allocates; reuse a preallocated buffer", name)
+				}
+			case *ast.MapType:
+				pass.Reportf(x.Pos(), "map literal in hotpath function %s allocates; hoist it to a package var or struct field", name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && (pkg.Name == "fmt" || pkg.Name == "log") {
+					pass.Reportf(x.Pos(), "%s.%s in hotpath function %s boxes its arguments into interfaces; format off the hot path", pkg.Name, sel.Sel.Name, name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && (isStringLit(x.X) || isStringLit(x.Y)) {
+				pass.Reportf(x.Pos(), "string concatenation in hotpath function %s allocates; append to a reused byte slice instead", name)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Rhs) == 1 && isStringLit(x.Rhs[0]) {
+				pass.Reportf(x.Pos(), "string concatenation in hotpath function %s allocates; append to a reused byte slice instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// isStringLit reports whether e is a string literal (possibly
+// parenthesized), the untyped evidence of string concatenation available
+// without type information.
+func isStringLit(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.STRING
+	case *ast.ParenExpr:
+		return isStringLit(x.X)
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AtomicCheck enforces all-or-nothing atomicity per field: once any code
+// in a package touches a field through sync/atomic (atomic.AddUint64(&c.v),
+// atomic.LoadInt64(&s.seq)), every other load and store of that field must
+// also go through sync/atomic. A single plain read races with the atomic
+// writers — the compiler and CPU may tear, cache, or reorder it — and the
+// race detector only catches the interleavings a given run happens to hit,
+// which is exactly what a deterministic simulation never exercises.
+//
+// The analysis is package-local and name-based (the loader has no type
+// information): a field name that appears as `&x.f` inside an atomic call
+// anywhere in the package marks every `y.f` selector in the package as
+// requiring atomic access. Two exemptions keep the common safe patterns
+// quiet: accesses inside New*/new* constructors (the struct is not shared
+// until the constructor returns) and the atomic call arguments themselves.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "a field accessed via sync/atomic anywhere in a package must not also be read or written with plain loads/stores",
+	Run:  atomicRun,
+}
+
+func atomicRun(pass *Pass) error {
+	// Pass 1: find the atomically-accessed field names and remember the
+	// exact selector nodes used inside atomic call arguments.
+	atomicFields := make(map[string]bool)
+	inAtomicArg := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		atomicName := importName(file, "sync/atomic")
+		if atomicName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != atomicName {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := arg.(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				fieldSel, ok := u.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				atomicFields[fieldSel.Sel.Name] = true
+				inAtomicArg[fieldSel.Pos()] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector of those field names is a plain access.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "New") || strings.HasPrefix(fn.Name.Name, "new") {
+				// Constructors initialize fields before the value is shared.
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if !atomicFields[sel.Sel.Name] || inAtomicArg[sel.Pos()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"field %q is accessed via sync/atomic elsewhere in this package; this plain access races with the atomic ones — use atomic.Load/Store here too",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -2,15 +2,13 @@ package lint
 
 import (
 	"go/ast"
-	"regexp"
 )
 
-// clockRestricted matches the packages whose behaviour must be driven by
-// the simulated clock: the protocol node layers, the network builder, the
-// study driver, the workload generator, the fault injector, and the
-// telemetry layer. A raw wall-clock read in any of them makes a 30-day
-// trace non-reproducible.
-var clockRestricted = regexp.MustCompile(`internal/(gnutella|openft|netsim|core|workload|obs|faultsim)(/|$)`)
+// clockScopeRe (lint.go, derived from scopeTable's clock column) matches
+// the packages whose behaviour must be driven by the simulated clock: the
+// protocol node layers, the network builder, the study driver, the
+// workload generator, the fault injector, and the telemetry layer. A raw
+// wall-clock read in any of them makes a 30-day trace non-reproducible.
 
 // bannedTimeFuncs are the time-package entry points that read or wait on
 // the wall clock. Pure types and constants (time.Duration, time.Second,
@@ -36,7 +34,7 @@ var ClockCheck = &Analyzer{
 }
 
 func runClockCheck(pass *Pass) error {
-	if !clockRestricted.MatchString(pass.Path) {
+	if !clockScopeRe.MatchString(pass.Path) {
 		return nil
 	}
 	for _, file := range pass.Files {

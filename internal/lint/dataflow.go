@@ -56,6 +56,17 @@ func joinTaint(a, b taint) taint {
 	return b
 }
 
+// meetTaint is the lattice meet (greatest lower bound). Pushing an
+// argument's taint through a summary's transfer fact is a meet: a raw
+// transfer passes the argument unchanged, a clamping transfer caps it at
+// clamped, a non-flow transfer drops it to trusted.
+func meetTaint(a, b taint) taint {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // flowEnv maps variable paths to taint facts. Absent paths are trusted.
 type flowEnv map[string]taint
 
@@ -132,9 +143,24 @@ type funcFlow struct {
 	// sanitizers are function names (unqualified) annotated
 	// `// lint:sanitizer`; calling one launders taint to trusted.
 	sanitizers map[string]bool
+	// summaries are the interprocedural per-function facts (param/return
+	// transfer) computed by computeSummaries; nil falls back to the
+	// intraprocedural call heuristics alone.
+	summaries map[string]*funcSummary
 	// onCall is invoked for every call expression with the flow state at
 	// that program point; sink checks live there.
 	onCall func(f *funcFlow, call *ast.CallExpr)
+	// seedParams, when non-nil, overrides the naming-convention parameter
+	// seeding: only the named parameters are seeded, with the given facts.
+	// Summary computation uses it to measure one parameter's transfer at a
+	// time.
+	seedParams map[string]taint
+	// ret accumulates the join of every returned value's taint, including
+	// the named-result environment at naked returns.
+	ret taint
+	// namedResults are the declared result names ("" for anonymous), for
+	// naked-return handling.
+	namedResults []string
 }
 
 // run seeds parameters and interprets the body.
@@ -143,11 +169,17 @@ func (f *funcFlow) run() {
 		return
 	}
 	f.env = make(flowEnv)
+	f.ret = taintTrusted
+	f.namedResults = resultNames(f.fn.Type)
 	isParser := parseFuncRe.MatchString(f.fn.Name.Name)
 	if f.fn.Type.Params != nil {
 		for _, field := range f.fn.Type.Params.List {
 			for _, name := range field.Names {
 				if name.Name == "_" {
+					continue
+				}
+				if f.seedParams != nil {
+					f.env.set(name.Name, f.seedParams[name.Name])
 					continue
 				}
 				if untrustedParamRe.MatchString(name.Name) ||
@@ -157,7 +189,31 @@ func (f *funcFlow) run() {
 			}
 		}
 	}
+	if f.seedParams != nil {
+		// Summary computation also seeds the receiver through seedParams;
+		// it is not in fn.Type.Params.
+		if recv := receiverName(f.fn); recv != "" {
+			if t, ok := f.seedParams[recv]; ok {
+				f.env.set(recv, t)
+			}
+		}
+	}
 	f.walkBlock(f.fn.Body)
+}
+
+// resultNames lists a signature's named results; anonymous results yield
+// an empty list (naked returns are then impossible).
+func resultNames(ft *ast.FuncType) []string {
+	if ft.Results == nil {
+		return nil
+	}
+	var names []string
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			names = append(names, name.Name)
+		}
+	}
+	return names
 }
 
 // isByteSlice reports whether a parameter type is []byte — the raw-input
@@ -251,7 +307,14 @@ func (f *funcFlow) walkStmt(s ast.Stmt) {
 		f.walkBlock(x)
 	case *ast.ReturnStmt:
 		for _, r := range x.Results {
-			f.eval(r)
+			f.ret = joinTaint(f.ret, f.eval(r))
+		}
+		if len(x.Results) == 0 {
+			// Naked return: the named results carry whatever the
+			// environment last assigned them.
+			for _, name := range f.namedResults {
+				f.ret = joinTaint(f.ret, f.env[name])
+			}
 		}
 	case *ast.GoStmt:
 		f.eval(x.Call)
@@ -419,6 +482,12 @@ func (f *funcFlow) eval(e ast.Expr) taint {
 		if x.Sel.Name == "Payload" {
 			return taintUntrusted
 		}
+		// A stream-reader method used as a method value (g := br.ReadString)
+		// is itself a source: calling it later yields wire bytes, so the
+		// bound value carries untrusted taint into the call rule.
+		if readerMethodSources[x.Sel.Name] {
+			return taintUntrusted
+		}
 		return f.eval(x.X)
 	case *ast.ParenExpr:
 		return f.eval(x.X)
@@ -456,10 +525,12 @@ func (f *funcFlow) eval(e ast.Expr) taint {
 		return t
 	case *ast.FuncLit:
 		// Closures are interpreted in place over the captured environment.
-		saved := f.env
+		// Their return statements must not pollute the enclosing function's
+		// return-taint accumulator.
+		saved, savedRet := f.env, f.ret
 		f.env = saved.clone()
 		f.walkBlock(x.Body)
-		f.env = saved
+		f.env, f.ret = saved, savedRet
 		return taintTrusted
 	case *ast.CallExpr:
 		return f.evalCall(x)
@@ -517,7 +588,20 @@ func (f *funcFlow) evalCall(call *ast.CallExpr) taint {
 		case f.sanitizers[name]:
 			argJoin()
 			return taintTrusted
-		case parseFuncRe.MatchString(name):
+		}
+		// Calling through a tainted function value: a method value bound to
+		// a stream reader (g := br.ReadString; g('\n')) yields wire bytes.
+		if t, ok := f.env[name]; ok && t != taintTrusted {
+			argJoin()
+			return t
+		}
+		// Interprocedural summary: precise param/return transfer beats the
+		// parse-name heuristic, so a Parse* helper that clamps internally no
+		// longer taints its callers.
+		if sum := f.summaries[name]; sum != nil {
+			return sum.apply(taintTrusted, f.evalArgs(call))
+		}
+		if parseFuncRe.MatchString(name) {
 			return argJoin()
 		}
 		argJoin()
@@ -566,6 +650,12 @@ func (f *funcFlow) evalCall(call *ast.CallExpr) taint {
 			return taintTrusted
 		}
 		recvTaint := f.eval(fun.X)
+		// Interprocedural summary, unless the selector root is a known
+		// stdlib package whose functions merely share an unqualified name
+		// with repo helpers.
+		if sum := f.summaries[name]; sum != nil && !stdlibRoots[root] {
+			return sum.apply(recvTaint, f.evalArgs(call))
+		}
 		t := argJoin()
 		switch {
 		case recvTaint == taintUntrusted:
@@ -583,6 +673,16 @@ func (f *funcFlow) evalCall(call *ast.CallExpr) taint {
 		argJoin()
 		return taintTrusted
 	}
+}
+
+// evalArgs evaluates every call argument once, in order, and returns their
+// taints for summary application.
+func (f *funcFlow) evalArgs(call *ast.CallExpr) []taint {
+	out := make([]taint, len(call.Args))
+	for i, a := range call.Args {
+		out[i] = f.eval(a)
+	}
+	return out
 }
 
 // basePath names the variable ultimately backing an expression (peeling

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// These tests drive the dataflow engine directly over small source
+// snippets, covering the propagation edges that fixture packages exercise
+// only incidentally: multi-assignment from a single call, named returns
+// (including naked ones), and method values.
+
+// flowReturnTaint parses src (a full file), computes interprocedural
+// summaries for it, and returns the return-taint of the function named
+// target.
+func flowReturnTaint(t *testing.T, src, target string) taint {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{Path: "example.com/flow", Fset: fset, Files: []*ast.File{file}}
+	sums := computeSummaries([]*Package{pkg}, collectSanitizers([]*Package{pkg}))
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != target {
+			continue
+		}
+		flow := &funcFlow{fn: fn, sanitizers: map[string]bool{}, summaries: sums}
+		flow.run()
+		return flow.ret
+	}
+	t.Fatalf("function %s not found", target)
+	return taintTrusted
+}
+
+func TestMultiAssignSpreadsCallTaint(t *testing.T) {
+	src := `package flow
+func source(peerData []byte) (int, int) { return len(peerData), int(peerData[0]) }
+func user(peerData []byte) int {
+	a, b := source(peerData)
+	_ = a
+	return b
+}`
+	// a, b := f() gives every lvalue the call's joined taint: the engine
+	// cannot split tuple elements, so both sides must be pessimistic.
+	if got := flowReturnTaint(t, src, "user"); got != taintUntrusted {
+		t.Fatalf("multi-assign result taint = %v, want untrusted", got)
+	}
+}
+
+func TestMultiAssignCommaOkFromMap(t *testing.T) {
+	src := `package flow
+func lookup(m map[string]string, peerKey string) string {
+	v, ok := m[peerKey]
+	if !ok {
+		return ""
+	}
+	return v
+}`
+	// Map lookup taint follows the container, not the key: a trusted map
+	// indexed by an untrusted key yields trusted values.
+	if got := flowReturnTaint(t, src, "lookup"); got != taintTrusted {
+		t.Fatalf("comma-ok result taint = %v, want trusted", got)
+	}
+}
+
+func TestNakedReturnCarriesNamedResultTaint(t *testing.T) {
+	src := `package flow
+func read(peerData []byte) (out []byte, err error) {
+	out = peerData
+	return
+}`
+	if got := flowReturnTaint(t, src, "read"); got != taintUntrusted {
+		t.Fatalf("naked-return taint = %v, want untrusted", got)
+	}
+}
+
+func TestNakedReturnAfterClampIsClamped(t *testing.T) {
+	src := `package flow
+const MaxN = 10
+func clampRead(peerN int) (n int) {
+	n = peerN
+	if n > MaxN {
+		n = MaxN
+	}
+	return
+}`
+	// The then-arm assigns a trusted constant and the else path keeps the
+	// clamped fact from the bound check; the join at the naked return is
+	// clamped.
+	if got := flowReturnTaint(t, src, "clampRead"); got != taintClamped {
+		t.Fatalf("clamped naked-return taint = %v, want clamped", got)
+	}
+}
+
+func TestMethodValueFromReaderIsUntrusted(t *testing.T) {
+	src := `package flow
+import "bufio"
+func viaMethodValue(br *bufio.Reader) string {
+	read := br.ReadString
+	line, _ := read(0)
+	return line
+}`
+	if got := flowReturnTaint(t, src, "viaMethodValue"); got != taintUntrusted {
+		t.Fatalf("method-value taint = %v, want untrusted", got)
+	}
+}
+
+func TestSummaryFixpointThroughCallChain(t *testing.T) {
+	src := `package flow
+const MaxLen = 100
+func clamp(peerN int) int {
+	if peerN > MaxLen {
+		return MaxLen
+	}
+	return peerN
+}
+func middle(peerN int) int { return clamp(peerN) }
+func outer(peerN int) int  { return middle(peerN) }`
+	// The clamp fact must survive two call levels: outer -> middle -> clamp.
+	if got := flowReturnTaint(t, src, "outer"); got != taintClamped {
+		t.Fatalf("chained clamp taint = %v, want clamped", got)
+	}
+}
+
+func TestSummaryVariadicArgsFoldIntoLastParam(t *testing.T) {
+	src := `package flow
+func joinAll(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + p
+	}
+	return out
+}
+func user(peerName string) string {
+	return joinAll("a", "b", peerName)
+}`
+	// Extra call arguments meet against the final parameter's transfer
+	// fact, so the untrusted third argument still flows through.
+	if got := flowReturnTaint(t, src, "user"); got != taintUntrusted {
+		t.Fatalf("variadic taint = %v, want untrusted", got)
+	}
+}
+
+func TestClosureReturnsDoNotPolluteEnclosing(t *testing.T) {
+	src := `package flow
+func outer(peerData []byte) int {
+	f := func() []byte { return peerData }
+	_ = f
+	return 0
+}`
+	if got := flowReturnTaint(t, src, "outer"); got != taintTrusted {
+		t.Fatalf("enclosing taint = %v, want trusted (closure return leaked)", got)
+	}
+}

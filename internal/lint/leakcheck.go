@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"regexp"
 )
 
 // LeakCheck flags goroutines in the long-running node and transfer layers
@@ -24,9 +23,9 @@ var LeakCheck = &Analyzer{
 	Run:  leakRun,
 }
 
-// leakScopeRe limits the check to the layers that spawn per-peer
-// goroutines; simulation drivers and one-shot tools are exempt.
-var leakScopeRe = regexp.MustCompile(`internal/(gnutella|openft|p2p|core|netsim|obs|faultsim)(/|$)`)
+// leakScopeRe (lint.go, derived from scopeTable's leak column) limits
+// the check to the layers that spawn per-peer goroutines; simulation
+// drivers and one-shot tools are exempt.
 
 func leakRun(pass *Pass) error {
 	if !leakScopeRe.MatchString(pass.Path) {

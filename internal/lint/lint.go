@@ -17,17 +17,30 @@
 //     indexing or slicing it.
 //   - errwrap: errors forwarded through fmt.Errorf must use %w so callers
 //     can unwrap across package boundaries.
-//   - taintcheck: intraprocedural dataflow over a
+//   - taintcheck: interprocedural dataflow over a
 //     {trusted, clamped, untrusted} lattice; wire-derived values may not
 //     reach allocation sizes, copy limits, filesystem paths, or format
 //     strings unless clamped against a Max* bound or laundered through a
-//     `// lint:sanitizer` function.
+//     `// lint:sanitizer` function. Per-function summaries (param/return
+//     taint transfer, clamp and sanitizer effects) are computed to a
+//     fixpoint over the whole package set in Init, so clamps applied
+//     inside helpers (readBody, SanitizeFilename) are recognized at call
+//     sites without suppressions.
 //   - leakcheck: goroutines in the node/transfer layers must have an exit
 //     path (done/quit channel, context, or error return) so month-long
 //     simulated crawls cannot leak collectors.
 //   - exhaustcheck: switches over `// lint:wireenum` types must cover
 //     every declared constant or carry a default, so new message types
 //     cannot be silently dropped.
+//   - detercheck: determinism guard — ranging over a map directly into a
+//     trace/JSONL/PRF sink, drawing from the unseeded math/rand global
+//     source, and constructing wall clocks outside the sanctioned
+//     ioClock/wallClock package vars are all reported.
+//   - atomiccheck: a field accessed through sync/atomic anywhere in a
+//     package may not also be read or written with plain loads/stores.
+//   - allocheck: functions annotated `// lint:hotpath` must stay free of
+//     heap-escaping composite literals, fmt/log calls, string
+//     concatenation, and closures, keeping AllocsPerRun == 0 paths honest.
 //
 // A finding can be suppressed with `// lint:allow <analyzer> <reason>` on
 // the same line or the line above.
@@ -42,6 +55,7 @@ import (
 	"go/token"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one static check, mirroring go/analysis.Analyzer.
@@ -156,8 +170,65 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap, TaintCheck, LeakCheck, ExhaustCheck}
+	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap, TaintCheck, LeakCheck, ExhaustCheck, DeterCheck, AtomicCheck, AllocCheck}
 }
+
+// scopeTable is the single source of truth for which internal packages the
+// scope-limited analyzers cover. clockcheck, leakcheck and detercheck all
+// derive their package matchers from this table, so adding a package here
+// is the one and only step needed to bring it under analysis — a new
+// subsystem can no longer silently escape one analyzer's hand-maintained
+// list while being covered by another's.
+//
+// Scope meanings:
+//
+//	clock — simclock discipline: no raw time.Now/Sleep/After reads.
+//	leak  — long-running goroutines need exit paths.
+//	deter — determinism invariants: no unsorted map iteration into
+//	        ordered sinks, no unseeded randomness, no unsanctioned
+//	        wall-clock construction.
+var scopeTable = []scopeRow{
+	{pkg: "gnutella", clock: true, leak: true, deter: true},
+	{pkg: "openft", clock: true, leak: true, deter: true},
+	{pkg: "netsim", clock: true, leak: true, deter: true},
+	{pkg: "core", clock: true, leak: true, deter: true},
+	{pkg: "workload", clock: true, leak: false, deter: true},
+	{pkg: "obs", clock: true, leak: true, deter: true},
+	{pkg: "faultsim", clock: true, leak: true, deter: true},
+	{pkg: "p2p", clock: false, leak: true, deter: true},
+	{pkg: "scanner", clock: false, leak: false, deter: true},
+	{pkg: "filter", clock: false, leak: false, deter: true},
+	{pkg: "dataset", clock: false, leak: false, deter: true},
+	{pkg: "stats", clock: false, leak: false, deter: true},
+}
+
+// scopeRe compiles the package matcher for one scope column of scopeTable.
+func scopeRe(flag func(row scopeRow) bool) *regexp.Regexp {
+	var names []string
+	for _, row := range scopeTable {
+		if flag(row) {
+			names = append(names, regexp.QuoteMeta(row.pkg))
+		}
+	}
+	return regexp.MustCompile(`internal/(` + strings.Join(names, "|") + `)(/|$)`)
+}
+
+// scopeRow is one scopeTable entry.
+type scopeRow struct {
+	pkg   string // path element directly under internal/
+	clock bool
+	leak  bool
+	deter bool
+}
+
+// The derived matchers. Keeping them package-level lets fixtures under
+// testdata/src/p2pmalware/internal/... exercise scope decisions exactly as
+// production packages do.
+var (
+	clockScopeRe = scopeRe(func(r scopeRow) bool { return r.clock })
+	leakScopeRe  = scopeRe(func(r scopeRow) bool { return r.leak })
+	deterScopeRe = scopeRe(func(r scopeRow) bool { return r.deter })
+)
 
 // allowKey addresses one suppressed (file, line, analyzer) cell.
 type allowKey struct {

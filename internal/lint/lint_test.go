@@ -58,6 +58,29 @@ func TestExhaustCheckFixture(t *testing.T) {
 	runFixture(t, ExhaustCheck, "example.com/exhaustfix")
 }
 
+func TestTaintCheckInterprocFixture(t *testing.T) {
+	runFixture(t, TaintCheck, "example.com/interproc")
+}
+
+func TestDeterCheckFixture(t *testing.T) {
+	runFixture(t, DeterCheck, "p2pmalware/internal/obs/deterfix")
+}
+
+// TestDeterCheckIgnoresUnscopedPackages reuses the clock-free fixture: it
+// lives outside every scopeTable deter row, so even a hit there would be
+// out of scope.
+func TestDeterCheckIgnoresUnscopedPackages(t *testing.T) {
+	runFixture(t, DeterCheck, "example.com/clockfree")
+}
+
+func TestAtomicCheckFixture(t *testing.T) {
+	runFixture(t, AtomicCheck, "example.com/atomicfix")
+}
+
+func TestAllocCheckFixture(t *testing.T) {
+	runFixture(t, AllocCheck, "example.com/allocfix")
+}
+
 // TestFixtureRunnerDetectsMisses guards the harness itself: an analyzer
 // that reports nothing must fail a fixture that expects a diagnostic.
 func TestFixtureRunnerDetectsMisses(t *testing.T) {

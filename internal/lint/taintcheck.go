@@ -7,6 +7,10 @@ import (
 
 // TaintCheck tracks wire-derived values through the dataflow engine in
 // dataflow.go and reports when one reaches a dangerous sink unclamped.
+// The analysis is interprocedural: Init computes per-function summaries
+// (summary.go) to a fixpoint over the whole package set, so clamps and
+// sanitizers applied inside helpers are honored at call sites and raw
+// pass-through helpers do not launder taint.
 //
 // Sources: message payload fields (.Payload), buffered-reader methods,
 // io.ReadAll/ReadFull, parameters of Parse*/Decode*/Read* functions, and
@@ -32,8 +36,13 @@ var TaintCheck = &Analyzer{
 // names of `// lint:sanitizer` functions anywhere in the package set.
 var taintSanitizers map[string]bool
 
+// taintSummaries is rebuilt by taintInit on every Run: the interprocedural
+// per-function transfer facts (summary.go) for the whole package set.
+var taintSummaries map[string]*funcSummary
+
 func taintInit(pkgs []*Package) error {
 	taintSanitizers = collectSanitizers(pkgs)
+	taintSummaries = computeSummaries(pkgs, taintSanitizers)
 	return nil
 }
 
@@ -126,6 +135,7 @@ func taintRun(pass *Pass) error {
 				pass:       pass,
 				fn:         fn,
 				sanitizers: taintSanitizers,
+				summaries:  taintSummaries,
 				onCall:     checkCall,
 			}
 			flow.run()

@@ -1,0 +1,58 @@
+// Package allocfix exercises allocheck: functions annotated
+// `// lint:hotpath` must avoid the constructs that allocate on every
+// execution; unannotated functions may do as they please.
+package allocfix
+
+import "fmt"
+
+// state is a reusable scratch value hot paths mutate in place.
+type state struct {
+	buf   []byte
+	count int64
+}
+
+// badHotpath commits every banned construct at least once.
+//
+// lint:hotpath
+func badHotpath(s *state, name string) string {
+	s.buf = []byte{0, 1} // want `slice literal in hotpath function badHotpath allocates`
+	t := &state{}        // want `&T\{\} literal in hotpath function badHotpath escapes`
+	_ = t
+	fmt.Println(name)         // want `fmt.Println in hotpath function badHotpath boxes`
+	f := func() { s.count++ } // want `closure in hotpath function badHotpath`
+	f()
+	return "hot:" + name // want `string concatenation in hotpath function badHotpath allocates`
+}
+
+// badHotpathMap hoists nothing.
+//
+// lint:hotpath
+func badHotpathMap() map[string]int {
+	return map[string]int{"a": 1} // want `map literal in hotpath function badHotpathMap allocates`
+}
+
+// goodHotpath sticks to the allowed forms: make, fixed-size arrays,
+// in-place appends, and arithmetic.
+//
+// lint:hotpath
+func goodHotpath(s *state, v uint16) {
+	if s.buf == nil {
+		s.buf = make([]byte, 0, 64)
+	}
+	var tmp [2]byte
+	tmp[0] = byte(v >> 8)
+	tmp[1] = byte(v)
+	s.buf = append(s.buf, tmp[:]...)
+	s.count++
+}
+
+// coldPath is unannotated: every construct above is fine here.
+func coldPath(name string) string {
+	m := map[string]int{"a": 1}
+	_ = m
+	b := []byte{1, 2, 3}
+	_ = b
+	f := func() {}
+	f()
+	return fmt.Sprintf("cold:%s", name)
+}

@@ -1,0 +1,45 @@
+// Package atomicfix exercises atomiccheck: a field accessed through
+// sync/atomic anywhere in the package must not also be touched with plain
+// loads or stores, except inside constructors.
+package atomicfix
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access to its hits field.
+type counter struct {
+	hits  int64
+	limit int64
+}
+
+// NewCounter initializes plainly before the value is shared: exempt.
+func NewCounter(limit int64) *counter {
+	return &counter{limit: limit}
+}
+
+// bump is the atomic writer that marks hits as an atomic field.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// badPlainRead reads the atomic field without atomic.Load.
+func (c *counter) badPlainRead() bool {
+	return c.hits >= c.limit // want `field "hits" is accessed via sync/atomic elsewhere`
+}
+
+// badPlainWrite resets the atomic field without atomic.Store.
+func (c *counter) badPlainWrite() {
+	c.hits = 0 // want `field "hits" is accessed via sync/atomic elsewhere`
+}
+
+// goodAtomicRead pairs the atomic writer with an atomic reader.
+func (c *counter) goodAtomicRead() bool {
+	return atomic.LoadInt64(&c.hits) >= c.limit
+}
+
+// plain is never touched atomically; plain access everywhere is fine.
+type plain struct {
+	n int64
+}
+
+func (p *plain) add(d int64) { p.n += d }
+func (p *plain) get() int64  { return p.n }

@@ -1,0 +1,109 @@
+// Package interproc exercises the interprocedural half of taintcheck:
+// clamps and sanitizers applied inside helpers must be recognized at call
+// sites, helpers that forward wire data raw must not launder it, and
+// helpers that read streams are sources even when the caller never touches
+// a reader.
+package interproc
+
+import (
+	"bufio"
+	"path/filepath"
+)
+
+// MaxBodyLen is the declared clamp bound for this fixture.
+const MaxBodyLen = 1 << 20
+
+// Message mimics a wire message; its Payload field is a taint source.
+type Message struct {
+	Payload []byte
+}
+
+// readCapped clamps a peer-supplied length inside the helper. The name
+// matches the Read* parser heuristic, which the per-function summary must
+// override: the returned value is clamped, not untrusted.
+func readCapped(peerLen int) int {
+	if peerLen > MaxBodyLen {
+		return MaxBodyLen
+	}
+	return peerLen
+}
+
+// goodClampThroughHelper allocates from a helper-clamped length: the old
+// intraprocedural engine needed a lint:allow here.
+func goodClampThroughHelper(peerLen int) []byte {
+	return make([]byte, readCapped(peerLen))
+}
+
+// ScrubName is this fixture's laundering function.
+//
+// lint:sanitizer
+func ScrubName(name string) string {
+	return name
+}
+
+// cleanName launders through a nested helper; the sanitizer effect must
+// survive one more call level.
+func cleanName(peerName string) string {
+	return ScrubName(peerName)
+}
+
+// goodSanitizerThroughHelper reaches a path sink via the nested launder.
+func goodSanitizerThroughHelper(m *Message) string {
+	return filepath.Join("downloads", cleanName(string(m.Payload)))
+}
+
+// passThrough forwards its argument untouched: calling it must not launder
+// taint, even though the helper itself contains no sink.
+func passThrough(peerLen int) int {
+	return peerLen
+}
+
+// badPassThroughHelper allocates from a raw-forwarded peer length.
+func badPassThroughHelper(peerLen int) []byte {
+	return make([]byte, passThrough(peerLen)) // want `untrusted length "peerLen" reaches make`
+}
+
+// readBody pulls bytes off the stream: an intrinsic source, visible to
+// callers through the summary's base fact.
+func readBody(br *bufio.Reader) []byte {
+	b, _ := br.ReadBytes(0)
+	return b
+}
+
+// badSourceThroughHelper names a file from helper-read stream bytes.
+func badSourceThroughHelper(br *bufio.Reader) string {
+	name := string(readBody(br))
+	return filepath.Join("downloads", name) // want `unsanitized wire value "name" used as filepath.Join`
+}
+
+// frame carries a wire-derived length field.
+type frame struct {
+	n int
+}
+
+// capped clamps the receiver's length field: a method-level clamp the
+// summary must carry through the receiver transfer fact.
+func (f *frame) capped() int {
+	n := f.n
+	if n > MaxBodyLen {
+		return MaxBodyLen
+	}
+	return n
+}
+
+// raw forwards the receiver's length field unclamped.
+func (f *frame) raw() int {
+	return f.n
+}
+
+// goodMethodClamp allocates from the clamping method.
+func goodMethodClamp(m *Message) []byte {
+	f := &frame{n: len(m.Payload) * int(m.Payload[0])}
+	return make([]byte, f.capped())
+}
+
+// badMethodRaw allocates from the raw method on a tainted receiver.
+func badMethodRaw(m *Message) []byte {
+	f := &frame{n: len(m.Payload) * int(m.Payload[0])}
+	return make([]byte, f.raw()) // want `untrusted length "value" reaches make`
+}

@@ -1,0 +1,11 @@
+package netsim
+
+import "p2pmalware/internal/simclock"
+
+// wallClock is the sanctioned wall-time source for the network builders.
+// Topology formation polls real goroutine progress (acceptor registration,
+// QRP patch and ADDSHARE application), so it genuinely runs on the wall
+// clock even when the trace clock is virtual — but it does so through this
+// single package-level var so tests can substitute a virtual clock and the
+// detercheck analyzer can audit every wall-clock construction site.
+var wallClock simclock.Clock = simclock.Real{}

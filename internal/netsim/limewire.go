@@ -213,13 +213,13 @@ func (n *LimeWireNet) qrpReadyTotal() int {
 // patch application), so it runs on the wall clock even when the trace
 // clock is virtual.
 func (n *LimeWireNet) waitLeaves(formed func() bool, what string) error {
-	wall := simclock.Real{}
+	wall := wallClock
 	deadline := wall.Now().Add(10 * time.Second)
 	for !formed() {
 		if wall.Now().After(deadline) {
 			return fmt.Errorf("netsim: %s never settled", what)
 		}
-		wall.Sleep(2 * time.Millisecond)
+		simclock.Sleep(wall, 2*time.Millisecond)
 	}
 	return nil
 }

@@ -133,13 +133,13 @@ func (n *OpenFTNet) shareTotal() int {
 // application), so it runs on the wall clock even when the trace clock is
 // virtual.
 func (n *OpenFTNet) waitFormed(formed func() bool, what string) error {
-	wall := simclock.Real{}
+	wall := wallClock
 	deadline := wall.Now().Add(10 * time.Second)
 	for !formed() {
 		if wall.Now().After(deadline) {
 			return fmt.Errorf("netsim: %s never settled", what)
 		}
-		wall.Sleep(2 * time.Millisecond)
+		simclock.Sleep(wall, 2*time.Millisecond)
 	}
 	return nil
 }

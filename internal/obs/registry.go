@@ -29,9 +29,13 @@ type Counter struct {
 }
 
 // Inc adds one to the counter. Zero-allocation, safe for concurrent use.
+//
+// lint:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n to the counter.
+//
+// lint:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -44,15 +48,23 @@ type Gauge struct {
 }
 
 // Set stores n.
+//
+// lint:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adds n (negative to decrease).
+//
+// lint:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Inc adds one.
+//
+// lint:hotpath
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+// lint:hotpath
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current level.
@@ -76,6 +88,8 @@ func newHistogram(bounds []int64) *Histogram {
 }
 
 // Observe records one value. Zero-allocation, safe for concurrent use.
+//
+// lint:hotpath
 func (h *Histogram) Observe(v int64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -88,6 +102,8 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration in microseconds, the unit every
 // latency histogram in the repository uses.
+//
+// lint:hotpath
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
 
 // Count returns the number of observations.

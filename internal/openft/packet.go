@@ -149,20 +149,35 @@ func ReadPacket(r io.Reader) (*Packet, error) {
 
 type fieldWriter struct{ b []byte }
 
+// u16 appends a big-endian uint16.
+//
+// lint:hotpath
 func (f *fieldWriter) u16(v uint16) {
 	var tmp [2]byte
 	binary.BigEndian.PutUint16(tmp[:], v)
 	f.b = append(f.b, tmp[:]...)
 }
+
+// u32 appends a big-endian uint32.
+//
+// lint:hotpath
 func (f *fieldWriter) u32(v uint32) {
 	var tmp [4]byte
 	binary.BigEndian.PutUint32(tmp[:], v)
 	f.b = append(f.b, tmp[:]...)
 }
+
+// str appends a NUL-terminated string.
+//
+// lint:hotpath
 func (f *fieldWriter) str(s string) {
 	f.b = append(f.b, s...)
 	f.b = append(f.b, 0)
 }
+
+// ip appends a 4-byte IPv4 address.
+//
+// lint:hotpath
 func (f *fieldWriter) ip(ip net.IP) {
 	v4 := ip.To4()
 	if v4 == nil {
@@ -176,6 +191,9 @@ type fieldReader struct {
 	err error
 }
 
+// u16 consumes a big-endian uint16.
+//
+// lint:hotpath
 func (f *fieldReader) u16() uint16 {
 	if f.err != nil || len(f.b) < 2 {
 		f.fail()
@@ -185,6 +203,10 @@ func (f *fieldReader) u16() uint16 {
 	f.b = f.b[2:]
 	return v
 }
+
+// u32 consumes a big-endian uint32.
+//
+// lint:hotpath
 func (f *fieldReader) u32() uint32 {
 	if f.err != nil || len(f.b) < 4 {
 		f.fail()
@@ -194,6 +216,10 @@ func (f *fieldReader) u32() uint32 {
 	f.b = f.b[4:]
 	return v
 }
+
+// str consumes a NUL-terminated string.
+//
+// lint:hotpath
 func (f *fieldReader) str() string {
 	if f.err != nil {
 		return ""
@@ -208,6 +234,10 @@ func (f *fieldReader) str() string {
 	f.fail()
 	return ""
 }
+
+// ip consumes a 4-byte IPv4 address.
+//
+// lint:hotpath
 func (f *fieldReader) ip() net.IP {
 	if f.err != nil || len(f.b) < 4 {
 		f.fail()
@@ -217,6 +247,10 @@ func (f *fieldReader) ip() net.IP {
 	f.b = f.b[4:]
 	return ip
 }
+
+// fail latches the truncation error.
+//
+// lint:hotpath
 func (f *fieldReader) fail() {
 	if f.err == nil {
 		f.err = errors.New("openft: truncated payload")

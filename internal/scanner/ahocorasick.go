@@ -85,6 +85,8 @@ func emptyRow() [256]int32 {
 // match scans data once and calls found for each distinct pattern index
 // present, at most once per pattern. It returns early once every pattern
 // has been seen.
+//
+// lint:hotpath
 func (m *acMatcher) match(data []byte, found func(pattern int32)) {
 	if m.numPatterns == 0 {
 		return

@@ -1,0 +1,25 @@
+package scanner
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMatchNoHitZeroAllocs pins the `// lint:hotpath` contract on the
+// automaton step: scanning input that contains no pattern never touches
+// the lazily allocated seen set, so the whole pass is allocation-free.
+// allocheck rejects allocating constructs in match at the source level;
+// this holds the no-hit path to zero at runtime.
+func TestMatchNoHitZeroAllocs(t *testing.T) {
+	m := newACMatcher([][]byte{
+		[]byte("abcd"),
+		[]byte("\x00\x01\x02\x03"),
+	})
+	data := bytes.Repeat([]byte("xyzw"), 1024)
+	found := func(int32) { t.Fatal("unexpected match in no-hit corpus") }
+	if n := testing.AllocsPerRun(100, func() {
+		m.match(data, found)
+	}); n != 0 {
+		t.Fatalf("no-hit match allocs = %v, want 0", n)
+	}
+}
