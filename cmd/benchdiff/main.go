@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -94,6 +95,11 @@ func compare(old, new map[string]Summary, headline map[string]bool) (deltas []de
 // benchFileRe matches the numbered artifacts the bench pipeline writes.
 var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
+// errTooFewArtifacts marks the only discovery failure that is not an
+// error: fewer than two summaries means there is no pair to compare, and
+// the gate passes vacuously instead of breaking fresh checkouts.
+var errTooFewArtifacts = errors.New("too few benchmark artifacts")
+
 // discover returns the two highest-numbered BENCH_<n>.json paths in dir,
 // previous first.
 func discover(dir string) (old, new string, err error) {
@@ -118,7 +124,7 @@ func discover(dir string) (old, new string, err error) {
 		found = append(found, numbered{n: n, path: filepath.Join(dir, e.Name())})
 	}
 	if len(found) < 2 {
-		return "", "", fmt.Errorf("need at least two BENCH_<n>.json files in %s, found %d", dir, len(found))
+		return "", "", fmt.Errorf("%w: found %d BENCH_<n>.json file(s) in %s, need two", errTooFewArtifacts, len(found), dir)
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
 	return found[len(found)-2].path, found[len(found)-1].path, nil
@@ -150,6 +156,15 @@ func main() {
 		var err error
 		oldPath, newPath, err = discover(".")
 		if err != nil {
+			// Fewer than two artifacts is the normal state of a fresh
+			// checkout or the stage that introduces benchmarking — there is
+			// no pair to diff, so there is nothing to gate. Say so and exit
+			// clean; a malformed or unreadable directory still fails below
+			// via load.
+			if errors.Is(err, errTooFewArtifacts) {
+				fmt.Printf("benchdiff: %v; nothing to compare, gate passes vacuously\n", err)
+				return
+			}
 			log.Fatal(err)
 		}
 	case 2:

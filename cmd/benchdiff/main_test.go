@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -87,8 +88,14 @@ func TestDiscoverNeedsTwoFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := discover(dir); err == nil {
+	_, _, err := discover(dir)
+	if err == nil {
 		t.Fatal("discover with one file succeeded, want error")
+	}
+	// The caller exits clean on exactly this sentinel (fresh checkouts have
+	// no artifact pair to gate), so the wrap must survive refactors.
+	if !errors.Is(err, errTooFewArtifacts) {
+		t.Fatalf("discover error %v does not wrap errTooFewArtifacts", err)
 	}
 }
 

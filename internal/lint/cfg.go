@@ -1,0 +1,435 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds a control-flow graph from one function body's (untyped)
+// AST. Blocks hold straight-line statements; all control structure lives
+// in edges. The graph is what the worklist fixpoint engine in flow.go
+// iterates over, replacing the old "walk loop bodies twice" approximation
+// with a true fixpoint, and what the path-sensitive analyzers (lockpath,
+// blockcheck, releasecheck) use to reason about early returns and
+// error-exit paths.
+//
+// Construction handles if/else, for (with init/cond/post), range, switch
+// (including fallthrough), type switch, select (with and without default),
+// goto, labeled statements, and labeled break/continue. Every function
+// gets a synthetic exit block; return statements and terminating calls
+// (panic, log.Fatal*, os.Exit) edge into it, tagged so analyzers can run
+// deferred actions there and, for the panic flavor, relax their exit
+// checks. defer statements stay in blocks as ordinary statements: an
+// analyzer that cares (lockpath's deferred-unlock set, releasecheck's
+// deferred-release set) records them in its fact domain, which makes defer
+// coverage path-sensitive for free — a defer only counts on paths that
+// executed it.
+
+// edgeKind classifies a CFG edge for the edge-transfer hook.
+type edgeKind uint8
+
+const (
+	// edgeSeq is unconditional flow: block end, break, continue, goto.
+	edgeSeq edgeKind = iota
+	// edgeCondTrue enters the then-arm / loop body; cond holds the branch
+	// condition, which the taint engine refines (clamping) along the edge.
+	edgeCondTrue
+	// edgeCondFalse enters the else-arm / loop exit.
+	edgeCondFalse
+	// edgeRangeIter enters a range body; rng carries the statement so the
+	// edge transfer can bind the key/value variables.
+	edgeRangeIter
+	// edgeRangeDone leaves a range loop.
+	edgeRangeDone
+	// edgeCase enters one switch/select clause.
+	edgeCase
+	// edgeExit reaches the synthetic exit block via return or fall-off-end;
+	// deferred actions apply here and exit invariants are checked.
+	edgeExit
+	// edgePanic reaches exit via panic/Fatal/Exit; deferred actions apply
+	// but analyzers skip their exit checks (the process or goroutine dies).
+	edgePanic
+)
+
+// cfgEdge is one directed edge between blocks.
+type cfgEdge struct {
+	to   *cfgBlock
+	kind edgeKind
+	// cond is the branch condition for edgeCondTrue/edgeCondFalse.
+	cond ast.Expr
+	// rng is the range statement for edgeRangeIter.
+	rng *ast.RangeStmt
+	// pos anchors diagnostics for edgeExit/edgePanic: the return statement
+	// or terminating call, or the body's closing brace for fall-off-end.
+	pos token.Pos
+}
+
+// cfgBlock is one basic block. Within a block, flow is: caseList (clause
+// guards, evaluated on entry), stmts in order, then cond (the branch
+// condition a terminating if/for evaluates).
+type cfgBlock struct {
+	index int
+	// caseList are the case expressions of a switch clause this block
+	// heads, evaluated (for their side effects) before stmts.
+	caseList []ast.Expr
+	stmts    []ast.Stmt
+	// cond is the condition this block branches on, or nil.
+	cond ast.Expr
+	// rangeX is the ranged expression when this block heads a range loop.
+	rangeX ast.Expr
+	// nonBlocking marks a select clause block whose select carries a
+	// default: its communication statement cannot block.
+	nonBlocking bool
+	succs       []cfgEdge
+}
+
+// cfgGraph is one function body's control-flow graph.
+type cfgGraph struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock
+}
+
+// breakFrame is one enclosing breakable construct on the builder stack.
+type breakFrame struct {
+	label string
+	// breakTo receives break edges; continueTo receives continue edges and
+	// is nil for switch/select frames.
+	breakTo    *cfgBlock
+	continueTo *cfgBlock
+}
+
+type cfgBuilder struct {
+	g *cfgGraph
+	// cur is the block under construction; nil after a jump, in which case
+	// the next statement opens a fresh (unreachable unless labeled) block.
+	cur    *cfgBlock
+	frames []breakFrame
+	// labels maps label names to their blocks, for goto resolution.
+	labels map[string]*cfgBlock
+	// pendingGotos collects goto sources whose label has not been built yet.
+	pendingGotos map[string][]*cfgBlock
+	// pendingLabel is a label waiting to name the next loop/switch frame.
+	pendingLabel string
+	// nextClause is the following case body during switch construction, the
+	// fallthrough target.
+	nextClause *cfgBlock
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *cfgGraph {
+	b := &cfgBuilder{
+		g:            &cfgGraph{},
+		labels:       make(map[string]*cfgBlock),
+		pendingGotos: make(map[string][]*cfgBlock),
+	}
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	exit := b.exitBlock()
+	if b.cur != nil {
+		b.edge(b.cur, cfgEdge{to: exit, kind: edgeExit, pos: body.End()})
+	}
+	// A goto whose label never appeared cannot compile; its source block
+	// simply ends the path.
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from *cfgBlock, e cfgEdge) {
+	from.succs = append(from.succs, e)
+}
+
+// ensure returns the current block, opening a fresh one if the previous
+// statement jumped away (dead code still gets blocks so analyzers visit
+// it, and a label can resurrect it).
+func (b *cfgBuilder) ensure() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// seal ends the current block with an unconditional edge to next and
+// continues building there.
+func (b *cfgBuilder) seal(next *cfgBlock) {
+	if b.cur != nil {
+		b.edge(b.cur, cfgEdge{to: next, kind: edgeSeq})
+	}
+	b.cur = next
+}
+
+func (b *cfgBuilder) append(s ast.Stmt) {
+	blk := b.ensure()
+	blk.stmts = append(blk.stmts, s)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label waiting for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+	case *ast.IfStmt:
+		b.buildIf(x)
+	case *ast.ForStmt:
+		b.buildFor(x)
+	case *ast.RangeStmt:
+		b.buildRange(x)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.append(x.Init)
+		}
+		head := b.ensure()
+		head.cond = x.Tag
+		b.buildClauses(head, x.Body, false, false)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.append(x.Init)
+		}
+		b.append(x.Assign)
+		b.buildClauses(b.ensure(), x.Body, false, false)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		b.buildClauses(b.ensure(), x.Body, true, hasDefault)
+	case *ast.ReturnStmt:
+		blk := b.ensure()
+		blk.stmts = append(blk.stmts, x)
+		b.edge(blk, cfgEdge{to: b.exitBlock(), kind: edgeExit, pos: x.Pos()})
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.buildBranch(x)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.seal(lb)
+		b.labels[x.Label.Name] = lb
+		for _, src := range b.pendingGotos[x.Label.Name] {
+			b.edge(src, cfgEdge{to: lb, kind: edgeSeq})
+		}
+		delete(b.pendingGotos, x.Label.Name)
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+		b.pendingLabel = ""
+	case *ast.ExprStmt:
+		b.append(x)
+		if stmtTerminates(x) {
+			b.edge(b.cur, cfgEdge{to: b.exitBlock(), kind: edgePanic, pos: x.Pos()})
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, Send, IncDec, Go, Defer: straight-line.
+		b.append(s)
+	}
+}
+
+// exitBlock lazily allocates the synthetic exit block; the fall-off edge
+// in buildCFG and every return/panic edge share it.
+func (b *cfgBuilder) exitBlock() *cfgBlock {
+	if b.g.exit == nil {
+		b.g.exit = b.newBlock()
+	}
+	return b.g.exit
+}
+
+func (b *cfgBuilder) buildIf(x *ast.IfStmt) {
+	if x.Init != nil {
+		b.append(x.Init)
+	}
+	head := b.ensure()
+	head.cond = x.Cond
+	thenB := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, cfgEdge{to: thenB, kind: edgeCondTrue, cond: x.Cond})
+	var elseB *cfgBlock
+	if x.Else != nil {
+		elseB = b.newBlock()
+		b.edge(head, cfgEdge{to: elseB, kind: edgeCondFalse, cond: x.Cond})
+	} else {
+		b.edge(head, cfgEdge{to: after, kind: edgeCondFalse, cond: x.Cond})
+	}
+	b.cur = thenB
+	b.stmtList(x.Body.List)
+	b.seal(after)
+	if elseB != nil {
+		b.cur = elseB
+		b.stmt(x.Else)
+		if b.cur != nil {
+			b.edge(b.cur, cfgEdge{to: after, kind: edgeSeq})
+		}
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildFor(x *ast.ForStmt) {
+	label := b.takeLabel()
+	if x.Init != nil {
+		b.append(x.Init)
+	}
+	head := b.newBlock()
+	b.seal(head)
+	head.cond = x.Cond
+	body := b.newBlock()
+	after := b.newBlock()
+	continueTo := head
+	if x.Post != nil {
+		post := b.newBlock()
+		post.stmts = []ast.Stmt{x.Post}
+		b.edge(post, cfgEdge{to: head, kind: edgeSeq})
+		continueTo = post
+	}
+	if x.Cond != nil {
+		b.edge(head, cfgEdge{to: body, kind: edgeCondTrue, cond: x.Cond})
+		b.edge(head, cfgEdge{to: after, kind: edgeCondFalse, cond: x.Cond})
+	} else {
+		// for {}: after is reachable only through break.
+		b.edge(head, cfgEdge{to: body, kind: edgeSeq})
+	}
+	b.frames = append(b.frames, breakFrame{label: label, breakTo: after, continueTo: continueTo})
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.seal(continueTo)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildRange(x *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.seal(head)
+	head.rangeX = x.X
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, cfgEdge{to: body, kind: edgeRangeIter, rng: x})
+	b.edge(head, cfgEdge{to: after, kind: edgeRangeDone})
+	b.frames = append(b.frames, breakFrame{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.seal(head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// buildClauses shares the clause fan-out of switch, type switch, and
+// select. head is the block evaluating the tag (or the select point);
+// each clause gets its own block reached by an edgeCase edge.
+func (b *cfgBuilder) buildClauses(head *cfgBlock, body *ast.BlockStmt, isSelect, selectHasDefault bool) {
+	label := b.takeLabel()
+	after := b.newBlock()
+	b.frames = append(b.frames, breakFrame{label: label, breakTo: after})
+
+	// First pass allocates clause blocks so fallthrough can target the
+	// next clause before it is built.
+	type clause struct {
+		blk  *cfgBlock
+		list []ast.Expr
+		comm ast.Stmt
+		body []ast.Stmt
+	}
+	var clauses []clause
+	hasDefault := false
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if len(cc.List) == 0 {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			blk.caseList = cc.List
+			clauses = append(clauses, clause{blk: blk, list: cc.List, body: cc.Body})
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			blk.nonBlocking = selectHasDefault
+			clauses = append(clauses, clause{blk: blk, comm: cc.Comm, body: cc.Body})
+		}
+	}
+	for _, c := range clauses {
+		b.edge(head, cfgEdge{to: c.blk, kind: edgeCase})
+	}
+	// A switch without default (or an empty select) can skip every clause.
+	// A select without default always takes some clause — but with zero
+	// clauses (select {}) it blocks forever and after is unreachable.
+	if !hasDefault && !(isSelect && len(clauses) > 0) {
+		b.edge(head, cfgEdge{to: after, kind: edgeSeq})
+	}
+
+	savedNext := b.nextClause
+	for i, c := range clauses {
+		b.nextClause = nil
+		if i+1 < len(clauses) {
+			b.nextClause = clauses[i+1].blk
+		}
+		b.cur = c.blk
+		if c.comm != nil {
+			b.append(c.comm)
+		}
+		b.stmtList(c.body)
+		if b.cur != nil {
+			b.edge(b.cur, cfgEdge{to: after, kind: edgeSeq})
+		}
+	}
+	b.nextClause = savedNext
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildBranch(x *ast.BranchStmt) {
+	blk := b.ensure()
+	switch x.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if x.Label == nil || f.label == x.Label.Name {
+				b.edge(blk, cfgEdge{to: f.breakTo, kind: edgeSeq})
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo == nil {
+				continue // switch/select frames are transparent to continue
+			}
+			if x.Label == nil || f.label == x.Label.Name {
+				b.edge(blk, cfgEdge{to: f.continueTo, kind: edgeSeq})
+				break
+			}
+		}
+	case token.GOTO:
+		if target, ok := b.labels[x.Label.Name]; ok {
+			b.edge(blk, cfgEdge{to: target, kind: edgeSeq})
+		} else {
+			b.pendingGotos[x.Label.Name] = append(b.pendingGotos[x.Label.Name], blk)
+		}
+	case token.FALLTHROUGH:
+		if b.nextClause != nil {
+			b.edge(blk, cfgEdge{to: b.nextClause, kind: edgeSeq})
+		}
+	}
+	b.cur = nil
+}

@@ -8,12 +8,15 @@ import (
 )
 
 // This file is the intraprocedural dataflow core the taint analyzers run
-// on: an SSA-lite abstract interpreter over the parsed (untyped) AST. Each
-// function body is walked in statement order with an environment mapping
-// variable paths ("x", "s.info", "r.b") to taint facts; branches are
-// walked on cloned environments and joined, and loop bodies are walked
-// twice so loop-carried facts reach a fixpoint for this lattice (facts
-// only move up, and the lattice has height two).
+// on: an abstract interpreter over the control-flow graph (cfg.go) driven
+// by the generic worklist engine (flow.go). The environment maps variable
+// paths ("x", "s.info", "r.b") to taint facts; per-block in-environments
+// are joined at merge points and iterated to a true fixpoint, so
+// loop-carried facts, goto cycles, and early-return paths are all exact
+// for this lattice (facts only move up, and the lattice has height two).
+// Branch conditions refine facts along CFG edges: the true edge of
+// `x <= Max` clamps x, the false edge of `x > Max` clamps it on the
+// fallthrough path.
 //
 // The lattice, from bottom to top:
 //
@@ -78,11 +81,16 @@ func (e flowEnv) clone() flowEnv {
 	return out
 }
 
-// joinInto folds other into e pathwise.
-func (e flowEnv) joinInto(other flowEnv) {
+// joinInto folds other into e pathwise, reporting whether e rose.
+func (e flowEnv) joinInto(other flowEnv) bool {
+	changed := false
 	for k, v := range other {
-		e[k] = joinTaint(e[k], v)
+		if j := joinTaint(e[k], v); j != e[k] {
+			e[k] = j
+			changed = true
+		}
 	}
+	return changed
 }
 
 // set records a fact, dropping trusted entries to keep envs small.
@@ -161,9 +169,20 @@ type funcFlow struct {
 	// namedResults are the declared result names ("" for anonymous), for
 	// naked-return handling.
 	namedResults []string
+	// reporting is true during the post-fixpoint visit pass: onCall hooks
+	// fire, return taints accumulate, and closures are interpreted.
+	reporting bool
+	// deferredLits are the function's `defer func() {...}()` closures,
+	// applied at return statements so a deferred write to a named result
+	// reaches the return taint.
+	deferredLits []*ast.FuncLit
+	// graph, when pre-built (summary computation reinterprets each function
+	// many times), is reused instead of rebuilding the CFG.
+	graph *cfgGraph
 }
 
-// run seeds parameters and interprets the body.
+// run seeds parameters and interprets the body on the CFG: worklist
+// fixpoint first, then one reporting pass over the stable facts.
 func (f *funcFlow) run() {
 	if f.fn.Body == nil {
 		return
@@ -171,6 +190,8 @@ func (f *funcFlow) run() {
 	f.env = make(flowEnv)
 	f.ret = taintTrusted
 	f.namedResults = resultNames(f.fn.Type)
+	f.deferredLits = collectDeferredLits(f.fn.Body)
+	entry := make(flowEnv)
 	isParser := parseFuncRe.MatchString(f.fn.Name.Name)
 	if f.fn.Type.Params != nil {
 		for _, field := range f.fn.Type.Params.List {
@@ -179,12 +200,12 @@ func (f *funcFlow) run() {
 					continue
 				}
 				if f.seedParams != nil {
-					f.env.set(name.Name, f.seedParams[name.Name])
+					entry.set(name.Name, f.seedParams[name.Name])
 					continue
 				}
 				if untrustedParamRe.MatchString(name.Name) ||
 					(isParser && isByteSlice(field.Type)) {
-					f.env.set(name.Name, taintUntrusted)
+					entry.set(name.Name, taintUntrusted)
 				}
 			}
 		}
@@ -194,11 +215,95 @@ func (f *funcFlow) run() {
 		// it is not in fn.Type.Params.
 		if recv := receiverName(f.fn); recv != "" {
 			if t, ok := f.seedParams[recv]; ok {
-				f.env.set(recv, t)
+				entry.set(recv, t)
 			}
 		}
 	}
-	f.walkBlock(f.fn.Body)
+	g := f.graph
+	if g == nil {
+		g = buildCFG(f.fn.Body)
+	}
+	f.interpret(g, entry)
+}
+
+// interpret drives one graph to fixpoint and replays it for reporting.
+func (f *funcFlow) interpret(g *cfgGraph, entry flowEnv) {
+	spec := f.spec(entry)
+	f.reporting = false
+	in, ok := spec.fixpoint(g)
+	f.reporting = true
+	spec.visit(g, in, ok)
+	f.reporting = false
+}
+
+// spec binds the generic dataflow engine to this flow's environment.
+func (f *funcFlow) spec(entry flowEnv) *flowSpec[flowEnv] {
+	return &flowSpec[flowEnv]{
+		entry:  func() flowEnv { return entry.clone() },
+		bottom: func() flowEnv { return make(flowEnv) },
+		transfer: func(env flowEnv, s ast.Stmt, _ *cfgBlock) flowEnv {
+			f.env = env
+			f.stepStmt(s)
+			return f.env
+		},
+		evalExpr: func(env flowEnv, e ast.Expr) flowEnv {
+			f.env = env
+			f.eval(e)
+			return f.env
+		},
+		edge: func(env flowEnv, e *cfgEdge) flowEnv {
+			f.env = env
+			f.flowEdge(e)
+			return f.env
+		},
+		join: func(old, new flowEnv) (flowEnv, bool) {
+			return old, old.joinInto(new)
+		},
+		clone: func(env flowEnv) flowEnv { return env.clone() },
+	}
+}
+
+// flowEdge refines the environment along a CFG edge: branch-condition
+// clamping and range variable binding.
+func (f *funcFlow) flowEdge(e *cfgEdge) {
+	switch e.kind {
+	case edgeCondTrue:
+		clampPaths(f.env, boundedWhenTrue(e.cond))
+	case edgeCondFalse:
+		clampPaths(f.env, boundedWhenFalse(e.cond))
+	case edgeRangeIter:
+		// The ranged expression was already evaluated for hooks at the head
+		// block; re-evaluating here yields its taint for the value binding
+		// (duplicate sink reports are position-deduped by the analyzer).
+		t := f.eval(e.rng.X)
+		define := e.rng.Tok == token.DEFINE
+		if e.rng.Key != nil {
+			f.assignTo(e.rng.Key, taintTrusted, define)
+		}
+		if e.rng.Value != nil {
+			f.assignTo(e.rng.Value, t, define)
+		}
+	}
+}
+
+// collectDeferredLits gathers the function's own deferred closures,
+// without descending into nested function literals (their defers run at
+// their own returns).
+func collectDeferredLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				out = append(out, lit)
+			}
+			return false
+		}
+		return true
+	})
+	return out
 }
 
 // resultNames lists a signature's named results; anonymous results yield
@@ -230,13 +335,9 @@ func isByteSlice(t ast.Expr) bool {
 	return ok && elem.Name == "byte"
 }
 
-func (f *funcFlow) walkBlock(b *ast.BlockStmt) {
-	for _, s := range b.List {
-		f.walkStmt(s)
-	}
-}
-
-func (f *funcFlow) walkStmt(s ast.Stmt) {
+// stepStmt interprets one straight-line statement. Control statements
+// never reach it: the CFG builder desugars them into blocks and edges.
+func (f *funcFlow) stepStmt(s ast.Stmt) {
 	switch x := s.(type) {
 	case *ast.ExprStmt:
 		f.eval(x.X)
@@ -260,62 +361,8 @@ func (f *funcFlow) walkStmt(s ast.Stmt) {
 				}
 			}
 		}
-	case *ast.IfStmt:
-		f.walkIf(x)
-	case *ast.ForStmt:
-		if x.Init != nil {
-			f.walkStmt(x.Init)
-		}
-		if x.Cond != nil {
-			f.eval(x.Cond)
-		}
-		// Two passes reach the fixpoint for a height-two lattice.
-		for i := 0; i < 2; i++ {
-			f.walkBlock(x.Body)
-			if x.Post != nil {
-				f.walkStmt(x.Post)
-			}
-		}
-	case *ast.RangeStmt:
-		t := f.eval(x.X)
-		if x.Key != nil {
-			f.assignTo(x.Key, taintTrusted, x.Tok == token.DEFINE)
-		}
-		if x.Value != nil {
-			f.assignTo(x.Value, t, x.Tok == token.DEFINE)
-		}
-		for i := 0; i < 2; i++ {
-			f.walkBlock(x.Body)
-		}
-	case *ast.SwitchStmt:
-		if x.Init != nil {
-			f.walkStmt(x.Init)
-		}
-		if x.Tag != nil {
-			f.eval(x.Tag)
-		}
-		f.walkCaseBodies(x.Body)
-	case *ast.TypeSwitchStmt:
-		if x.Init != nil {
-			f.walkStmt(x.Init)
-		}
-		f.walkStmt(x.Assign)
-		f.walkCaseBodies(x.Body)
-	case *ast.SelectStmt:
-		f.walkCaseBodies(x.Body)
-	case *ast.BlockStmt:
-		f.walkBlock(x)
 	case *ast.ReturnStmt:
-		for _, r := range x.Results {
-			f.ret = joinTaint(f.ret, f.eval(r))
-		}
-		if len(x.Results) == 0 {
-			// Naked return: the named results carry whatever the
-			// environment last assigned them.
-			for _, name := range f.namedResults {
-				f.ret = joinTaint(f.ret, f.env[name])
-			}
-		}
+		f.stepReturn(x)
 	case *ast.GoStmt:
 		f.eval(x.Call)
 	case *ast.DeferStmt:
@@ -325,79 +372,89 @@ func (f *funcFlow) walkStmt(s ast.Stmt) {
 		f.eval(x.Value)
 	case *ast.IncDecStmt:
 		f.eval(x.X)
-	case *ast.LabeledStmt:
-		f.walkStmt(x.Stmt)
 	}
 }
 
-// walkCaseBodies interprets each clause on a cloned environment and joins
-// the results, modelling "any one branch may run".
-func (f *funcFlow) walkCaseBodies(body *ast.BlockStmt) {
-	base := f.env.clone()
-	merged := f.env
-	for _, clause := range body.List {
-		f.env = base.clone()
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			for _, e := range c.List {
-				f.eval(e)
-			}
-			for _, s := range c.Body {
-				f.walkStmt(s)
-			}
-		case *ast.CommClause:
-			if c.Comm != nil {
-				f.walkStmt(c.Comm)
-			}
-			for _, s := range c.Body {
-				f.walkStmt(s)
-			}
+// stepReturn evaluates a return statement. Taint accumulates into ret only
+// during the reporting pass, once per return site, over the stable facts.
+// Go's return order is modelled for named results: explicit results are
+// assigned to the result variables, deferred closures run (and may rewrite
+// them), and the function returns whatever the result variables then hold.
+func (f *funcFlow) stepReturn(x *ast.ReturnStmt) {
+	ts := make([]taint, len(x.Results))
+	for i, r := range x.Results {
+		ts[i] = f.eval(r)
+	}
+	if !f.reporting {
+		return
+	}
+	if len(f.namedResults) == 0 {
+		for _, t := range ts {
+			f.ret = joinTaint(f.ret, t)
 		}
-		merged.joinInto(f.env)
+		return
 	}
-	f.env = merged
+	switch {
+	case len(ts) == len(f.namedResults):
+		for i, t := range ts {
+			f.env.set(f.namedResults[i], t)
+		}
+	case len(ts) == 1:
+		// Multi-value call spread across the results: every result
+		// variable gets the call's joined taint.
+		for _, name := range f.namedResults {
+			f.env.set(name, ts[0])
+		}
+	}
+	for _, lit := range f.deferredLits {
+		f.applyDeferredNamed(lit)
+	}
+	for _, name := range f.namedResults {
+		f.ret = joinTaint(f.ret, f.env[name])
+	}
 }
 
-// walkIf interprets both arms on clones, applies bound-check clamping, and
-// joins. A guard whose taken arm terminates (the `if n > Max { return }`
-// idiom) leaves the fallthrough path clamped.
-func (f *funcFlow) walkIf(x *ast.IfStmt) {
-	if x.Init != nil {
-		f.walkStmt(x.Init)
+// applyDeferredNamed folds one deferred closure's effect on the enclosing
+// function's named results into the current environment: the closure body
+// is run to its own fixpoint over the captured environment and any taint
+// it leaves on a named result joins in. Which defers are pending at a
+// given return is approximated as "all of them", which can only raise
+// facts.
+func (f *funcFlow) applyDeferredNamed(lit *ast.FuncLit) {
+	names := f.namedResults
+	captured := f.env.clone()
+	savedEnv, savedNamed, savedDefers := f.env, f.namedResults, f.deferredLits
+	f.namedResults = resultNames(lit.Type)
+	f.deferredLits = nil
+	f.reporting = false
+	g := buildCFG(lit.Body)
+	spec := f.spec(captured)
+	in, ok := spec.fixpoint(g)
+	f.reporting = true
+	f.env, f.namedResults, f.deferredLits = savedEnv, savedNamed, savedDefers
+	if !ok[g.exit.index] {
+		return
 	}
-	f.eval(x.Cond)
-
-	thenEnv := f.env.clone()
-	elseEnv := f.env.clone()
-
-	// A true condition like `x <= Max` bounds x inside the then-arm; a
-	// false condition like `x > Max` bounds x on the else/fallthrough path.
-	clampPaths(thenEnv, boundedWhenTrue(x.Cond))
-	clampPaths(elseEnv, boundedWhenFalse(x.Cond))
-
-	saved := f.env
-	f.env = thenEnv
-	f.walkBlock(x.Body)
-	thenEnv = f.env
-
-	f.env = elseEnv
-	if x.Else != nil {
-		f.walkStmt(x.Else)
+	exitEnv := in[g.exit.index]
+	for _, name := range names {
+		if t := exitEnv[name]; t > f.env[name] {
+			f.env[name] = t
+		}
 	}
-	elseEnv = f.env
-	f.env = saved
+}
 
-	thenTerm := blockTerminates(x.Body)
-	elseTerm := x.Else != nil && stmtTerminates(x.Else)
-	switch {
-	case thenTerm && !elseTerm:
-		f.env = elseEnv
-	case elseTerm && !thenTerm:
-		f.env = thenEnv
-	default:
-		thenEnv.joinInto(elseEnv)
-		f.env = thenEnv
-	}
+// interpretClosure analyzes a function literal in place over the captured
+// environment, firing sink hooks inside it. Closure-internal state (its
+// own named results, defers, returns) is isolated from the enclosing
+// function.
+func (f *funcFlow) interpretClosure(lit *ast.FuncLit) {
+	captured := f.env.clone()
+	savedEnv, savedRet, savedNamed, savedDefers := f.env, f.ret, f.namedResults, f.deferredLits
+	f.namedResults = resultNames(lit.Type)
+	f.deferredLits = collectDeferredLits(lit.Body)
+	f.interpret(buildCFG(lit.Body), captured)
+	f.env, f.ret, f.namedResults, f.deferredLits = savedEnv, savedRet, savedNamed, savedDefers
+	f.reporting = true
 }
 
 // clampPaths downgrades untrusted facts to clamped for bounded paths.
@@ -524,13 +581,12 @@ func (f *funcFlow) eval(e ast.Expr) taint {
 		}
 		return t
 	case *ast.FuncLit:
-		// Closures are interpreted in place over the captured environment.
-		// Their return statements must not pollute the enclosing function's
-		// return-taint accumulator.
-		saved, savedRet := f.env, f.ret
-		f.env = saved.clone()
-		f.walkBlock(x.Body)
-		f.env, f.ret = saved, savedRet
+		// Closures are interpreted in place over the captured environment,
+		// isolated from the enclosing function's state, and only during the
+		// reporting pass — their interior cannot change enclosing facts.
+		if f.reporting {
+			f.interpretClosure(x)
+		}
 		return taintTrusted
 	case *ast.CallExpr:
 		return f.evalCall(x)

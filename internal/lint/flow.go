@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the generic forward-dataflow framework the CFG-based
+// analyzers share. A flowSpec supplies the fact domain (transfer, join,
+// edge refinement); fixpoint iterates a FIFO worklist over a cfgGraph
+// until the per-block in-facts stabilize. Facts must form a finite-height
+// join semilattice with monotone transfer functions — every domain in this
+// package (taint paths, lock states, resource states) has height two or
+// three per cell, so convergence is a handful of rounds.
+//
+// Analyzers run in two phases: fixpoint first with reporting hooks
+// disabled (blocks are revisited, and diagnostics from pre-convergence
+// facts would be unstable), then one visit pass in block-index order over
+// the final in-facts with hooks enabled. visit replays exactly the
+// transfer sequence fixpoint used — clause guards, statements, branch
+// condition, outgoing edges — so a hook sees the same facts the fixpoint
+// computed at that point.
+
+// flowSpec defines one dataflow problem over fact type F.
+type flowSpec[F any] struct {
+	// entry produces the fact at function entry.
+	entry func() F
+	// bottom produces the fact for unreachable blocks, visited so hooks
+	// still fire on dead code (matching the old walk-everything engine).
+	bottom func() F
+	// transfer interprets one straight-line statement.
+	transfer func(F, ast.Stmt, *cfgBlock) F
+	// evalExpr interprets a block-attached expression (branch condition,
+	// case guard, ranged expression) for its side effects.
+	evalExpr func(F, ast.Expr) F
+	// edge refines a fact along an outgoing edge (branch clamping, range
+	// variable binding, deferred-action application at exit).
+	edge func(F, *cfgEdge) F
+	// join merges a new fact into an existing one, reporting change.
+	join func(old, new F) (F, bool)
+	// clone copies a fact so block-local mutation cannot alias.
+	clone func(F) F
+}
+
+// fixpoint computes the stable in-fact of every reachable block; the
+// returned slice is indexed by block index, with ok[i] reporting
+// reachability.
+func (s *flowSpec[F]) fixpoint(g *cfgGraph) (in []F, ok []bool) {
+	in = make([]F, len(g.blocks))
+	ok = make([]bool, len(g.blocks))
+	queued := make([]bool, len(g.blocks))
+	in[g.entry.index] = s.entry()
+	ok[g.entry.index] = true
+	work := []int{g.entry.index}
+	queued[g.entry.index] = true
+	// The guard bounds pathological graphs; finite-height domains converge
+	// far earlier (each cell can only rise a constant number of times).
+	for steps := 0; len(work) > 0 && steps < 64*len(g.blocks)*(len(g.blocks)+1); steps++ {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+		blk := g.blocks[idx]
+		out := s.flowThrough(s.clone(in[idx]), blk)
+		for i := range blk.succs {
+			e := &blk.succs[i]
+			ef := s.edge(s.clone(out), e)
+			dst := e.to.index
+			changed := false
+			if !ok[dst] {
+				in[dst], ok[dst], changed = ef, true, true
+			} else {
+				in[dst], changed = s.join(in[dst], ef)
+			}
+			if changed && !queued[dst] {
+				work = append(work, dst)
+				queued[dst] = true
+			}
+		}
+	}
+	return in, ok
+}
+
+// flowThrough pushes a fact through one block's guards, statements, and
+// branch condition, in the order execution evaluates them.
+func (s *flowSpec[F]) flowThrough(f F, blk *cfgBlock) F {
+	for _, g := range blk.caseList {
+		f = s.evalExpr(f, g)
+	}
+	for _, st := range blk.stmts {
+		f = s.transfer(f, st, blk)
+	}
+	if blk.rangeX != nil {
+		f = s.evalExpr(f, blk.rangeX)
+	}
+	if blk.cond != nil {
+		f = s.evalExpr(f, blk.cond)
+	}
+	return f
+}
+
+// visit replays every block once over the final facts, in index order, so
+// reporting hooks inside transfer/evalExpr/edge fire deterministically.
+// Unreachable blocks are replayed from bottom.
+func (s *flowSpec[F]) visit(g *cfgGraph, in []F, ok []bool) {
+	for _, blk := range g.blocks {
+		var f F
+		if ok[blk.index] {
+			f = s.clone(in[blk.index])
+		} else {
+			f = s.bottom()
+		}
+		f = s.flowThrough(f, blk)
+		for i := range blk.succs {
+			e := &blk.succs[i]
+			s.edge(s.clone(f), e)
+		}
+	}
+}
+
+// analyze is the standard two-phase driver: fixpoint with hooks off, then
+// a visit pass with hooks on. setReporting toggles the analyzer's hook
+// state between the phases.
+func (s *flowSpec[F]) analyze(g *cfgGraph, setReporting func(bool)) {
+	setReporting(false)
+	in, ok := s.fixpoint(g)
+	setReporting(true)
+	s.visit(g, in, ok)
+	setReporting(false)
+}

@@ -41,6 +41,20 @@
 //   - allocheck: functions annotated `// lint:hotpath` must stay free of
 //     heap-escaping composite literals, fmt/log calls, string
 //     concatenation, and closures, keeping AllocsPerRun == 0 paths honest.
+//   - lockpath: CFG-based lock discipline — every Lock/RLock released on
+//     all return paths (deferred unlocks credited path-sensitively), and
+//     no re-entrant or upgrading re-acquisition of a held mutex.
+//   - blockcheck: no channel operation, sleep, network dial, or Wait on a
+//     foreign sync.Cond while a mutex is held.
+//   - releasecheck: pooled buffers (bufpool), dialed/accepted connections,
+//     and opened files released on every return path, with defer and
+//     ownership hand-off (return, send, store, wrap) recognized.
+//
+// The last three run on a shared control-flow-graph dataflow engine (see
+// cfg.go and flow.go): function bodies are lowered to basic blocks with
+// typed edges, a worklist iteration computes per-block facts to a
+// fixpoint, and diagnostics are emitted in a deterministic replay pass
+// over the stable facts. taintcheck runs on the same engine.
 //
 // A finding can be suppressed with `// lint:allow <analyzer> <reason>` on
 // the same line or the line above.
@@ -170,7 +184,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap, TaintCheck, LeakCheck, ExhaustCheck, DeterCheck, AtomicCheck, AllocCheck}
+	return []*Analyzer{ClockCheck, LockCheck, WireCheck, ErrWrap, TaintCheck, LeakCheck, ExhaustCheck, DeterCheck, AtomicCheck, AllocCheck, LockPath, BlockCheck, ReleaseCheck}
 }
 
 // scopeTable is the single source of truth for which internal packages the
@@ -182,24 +196,47 @@ func All() []*Analyzer {
 //
 // Scope meanings:
 //
-//	clock — simclock discipline: no raw time.Now/Sleep/After reads.
-//	leak  — long-running goroutines need exit paths.
-//	deter — determinism invariants: no unsorted map iteration into
-//	        ordered sinks, no unseeded randomness, no unsanctioned
-//	        wall-clock construction.
+//	clock   — simclock discipline: no raw time.Now/Sleep/After reads.
+//	leak    — long-running goroutines need exit paths.
+//	deter   — determinism invariants: no unsorted map iteration into
+//	          ordered sinks, no unseeded randomness, no unsanctioned
+//	          wall-clock construction.
+//	lock    — CFG lock-path discipline: every Lock unlocked on all
+//	          return paths, no re-entrant locking.
+//	block   — no blocking operation (channel, sleep, dial, foreign
+//	          cond.Wait) while a mutex is held.
+//	release — pooled buffers, connections, and files released on every
+//	          return path or handed off.
+//
+// Every package under internal/ must appear here and be claimed by at
+// least one scope (TestEveryInternalPackageClaimed enforces it). Purely
+// computational packages with no locks, goroutines, or resources still
+// carry the cheap CFG scopes — the analyzers are no-ops on code without
+// mutexes or acquisitions, and new concurrency added later is covered
+// from the first line.
 var scopeTable = []scopeRow{
-	{pkg: "gnutella", clock: true, leak: true, deter: true},
-	{pkg: "openft", clock: true, leak: true, deter: true},
-	{pkg: "netsim", clock: true, leak: true, deter: true},
-	{pkg: "core", clock: true, leak: true, deter: true},
-	{pkg: "workload", clock: true, leak: false, deter: true},
-	{pkg: "obs", clock: true, leak: true, deter: true},
-	{pkg: "faultsim", clock: true, leak: true, deter: true},
-	{pkg: "p2p", clock: false, leak: true, deter: true},
-	{pkg: "scanner", clock: false, leak: false, deter: true},
-	{pkg: "filter", clock: false, leak: false, deter: true},
-	{pkg: "dataset", clock: false, leak: false, deter: true},
-	{pkg: "stats", clock: false, leak: false, deter: true},
+	{pkg: "analysis", lock: true, block: true, release: true},
+	{pkg: "archive", lock: true, block: true, release: true},
+	{pkg: "bufpool", lock: true, block: true, release: true},
+	{pkg: "core", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "dataset", deter: true, lock: true, block: true, release: true},
+	{pkg: "deploy", lock: true, block: true, release: true},
+	{pkg: "faultsim", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "filter", deter: true, lock: true, block: true, release: true},
+	{pkg: "gnutella", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "guid", lock: true, block: true, release: true},
+	{pkg: "ipaddr", lock: true, block: true, release: true},
+	{pkg: "lint", lock: true, release: true},
+	{pkg: "malware", lock: true, block: true, release: true},
+	{pkg: "netsim", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "obs", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "openft", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "p2p", leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "pe", lock: true, block: true, release: true},
+	{pkg: "scanner", deter: true, lock: true, block: true, release: true},
+	{pkg: "simclock", lock: true, block: true, release: true},
+	{pkg: "stats", deter: true, lock: true, block: true, release: true},
+	{pkg: "workload", clock: true, deter: true, lock: true, block: true, release: true},
 }
 
 // scopeRe compiles the package matcher for one scope column of scopeTable.
@@ -215,19 +252,25 @@ func scopeRe(flag func(row scopeRow) bool) *regexp.Regexp {
 
 // scopeRow is one scopeTable entry.
 type scopeRow struct {
-	pkg   string // path element directly under internal/
-	clock bool
-	leak  bool
-	deter bool
+	pkg     string // path element directly under internal/
+	clock   bool
+	leak    bool
+	deter   bool
+	lock    bool
+	block   bool
+	release bool
 }
 
 // The derived matchers. Keeping them package-level lets fixtures under
 // testdata/src/p2pmalware/internal/... exercise scope decisions exactly as
 // production packages do.
 var (
-	clockScopeRe = scopeRe(func(r scopeRow) bool { return r.clock })
-	leakScopeRe  = scopeRe(func(r scopeRow) bool { return r.leak })
-	deterScopeRe = scopeRe(func(r scopeRow) bool { return r.deter })
+	clockScopeRe   = scopeRe(func(r scopeRow) bool { return r.clock })
+	leakScopeRe    = scopeRe(func(r scopeRow) bool { return r.leak })
+	deterScopeRe   = scopeRe(func(r scopeRow) bool { return r.deter })
+	lockScopeRe    = scopeRe(func(r scopeRow) bool { return r.lock })
+	blockScopeRe   = scopeRe(func(r scopeRow) bool { return r.block })
+	releaseScopeRe = scopeRe(func(r scopeRow) bool { return r.release })
 )
 
 // allowKey addresses one suppressed (file, line, analyzer) cell.

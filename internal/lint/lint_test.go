@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -79,6 +80,66 @@ func TestAtomicCheckFixture(t *testing.T) {
 
 func TestAllocCheckFixture(t *testing.T) {
 	runFixture(t, AllocCheck, "example.com/allocfix")
+}
+
+func TestLockPathFixture(t *testing.T) {
+	runFixture(t, LockPath, "p2pmalware/internal/core/lockpathfix")
+}
+
+func TestBlockCheckFixture(t *testing.T) {
+	runFixture(t, BlockCheck, "p2pmalware/internal/core/blockfix")
+}
+
+func TestReleaseCheckFixture(t *testing.T) {
+	runFixture(t, ReleaseCheck, "p2pmalware/internal/gnutella/releasefix")
+}
+
+// The CFG analyzers scope off scopeTable like the older scope-limited
+// checks; a fixture outside every lock/block/release row must stay silent
+// even though it contains violations of all three invariants.
+func TestCFGAnalyzersIgnoreUnscopedPackages(t *testing.T) {
+	runFixture(t, LockPath, "example.com/lockfree")
+	runFixture(t, BlockCheck, "example.com/lockfree")
+	runFixture(t, ReleaseCheck, "example.com/lockfree")
+}
+
+// TestEveryInternalPackageClaimed pins scopeTable to the filesystem: every
+// package directly under internal/ must have a row, every row must point
+// at a package that still exists, and every row must claim at least one
+// analyzer scope. A new subsystem cannot ship unanalyzed, and a renamed
+// one cannot leave a stale row silently matching nothing.
+func TestEveryInternalPackageClaimed(t *testing.T) {
+	dirs, err := os.ReadDir(filepath.Join("..", "..", "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]scopeRow, len(scopeTable))
+	for _, row := range scopeTable {
+		if _, dup := rows[row.pkg]; dup {
+			t.Errorf("scopeTable has duplicate row for %q", row.pkg)
+		}
+		rows[row.pkg] = row
+	}
+	seen := make(map[string]bool)
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		seen[d.Name()] = true
+		row, ok := rows[d.Name()]
+		if !ok {
+			t.Errorf("internal/%s has no scopeTable row: add one claiming at least one analyzer scope", d.Name())
+			continue
+		}
+		if !(row.clock || row.leak || row.deter || row.lock || row.block || row.release) {
+			t.Errorf("scopeTable row for %q claims no analyzer scope", d.Name())
+		}
+	}
+	for pkg := range rows {
+		if !seen[pkg] {
+			t.Errorf("scopeTable row %q matches no directory under internal/", pkg)
+		}
+	}
 }
 
 // TestFixtureRunnerDetectsMisses guards the harness itself: an analyzer

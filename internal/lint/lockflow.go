@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the lock-state dataflow shared by the lockpath and
+// blockcheck analyzers: a forward problem over the CFG whose facts track,
+// per mutex path ("n.mu", "pc.qrpMu"), whether the mutex is write-locked,
+// read-locked, unlocked, or mixed (held on some incoming path only), plus
+// the set of mutexes with a deferred unlock pending. Because defer
+// statements are ordinary block statements, the deferred set is
+// path-sensitive: a defer only counts on paths that executed it, and the
+// set joins by intersection (an unlock deferred on only one arm of a
+// branch does not cover the other).
+
+// lockState is one mutex's abstract state at a program point.
+type lockState uint8
+
+const (
+	// lkUnlocked is the bottom fact; absent map entries mean unlocked.
+	lkUnlocked lockState = iota
+	lkRLocked
+	lkLocked
+	// lkMixed means the paths reaching this point disagree: held on some,
+	// not on others, or read-locked on one and write-locked on another.
+	lkMixed
+)
+
+// String renders the state for diagnostics.
+func (s lockState) String() string {
+	switch s {
+	case lkRLocked:
+		return "read-locked"
+	case lkLocked:
+		return "locked"
+	case lkMixed:
+		return "locked on some paths"
+	default:
+		return "unlocked"
+	}
+}
+
+// joinLock merges two path states.
+func joinLock(a, b lockState) lockState {
+	if a == b {
+		return a
+	}
+	return lkMixed
+}
+
+// lockFact is the dataflow fact: mutex states plus pending deferred
+// unlocks.
+type lockFact struct {
+	held     map[string]lockState
+	deferred map[string]bool
+}
+
+func newLockFact() *lockFact {
+	return &lockFact{held: map[string]lockState{}, deferred: map[string]bool{}}
+}
+
+func (f *lockFact) clone() *lockFact {
+	out := &lockFact{
+		held:     make(map[string]lockState, len(f.held)),
+		deferred: make(map[string]bool, len(f.deferred)),
+	}
+	for k, v := range f.held {
+		out.held[k] = v
+	}
+	for k := range f.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+// join merges other into f: held states pathwise (absent = unlocked),
+// deferred by intersection. Reports whether f changed.
+func (f *lockFact) join(other *lockFact) bool {
+	changed := false
+	for k, v := range other.held {
+		if j := joinLock(f.held[k], v); j != f.held[k] {
+			f.held[k] = j
+			changed = true
+		}
+	}
+	for k, v := range f.held {
+		if _, ok := other.held[k]; !ok && v != lkUnlocked {
+			if j := joinLock(v, lkUnlocked); j != v {
+				f.held[k] = j
+				changed = true
+			}
+		}
+	}
+	for k := range f.deferred {
+		if !other.deferred[k] {
+			delete(f.deferred, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// anyHeld returns the mutex paths held (definitely or possibly) in sorted
+// order, for deterministic diagnostics.
+func (f *lockFact) anyHeld() []string {
+	var out []string
+	for k, v := range f.held {
+		if v != lkUnlocked {
+			out = append(out, k)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is a tiny insertion sort: held sets have one or two entries,
+// and it keeps this file free of a sort import for a single call site.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// mutexMethods maps the sync method names the flow interprets to the
+// state they install.
+var mutexMethods = map[string]lockState{
+	"Lock":    lkLocked,
+	"RLock":   lkRLocked,
+	"Unlock":  lkUnlocked,
+	"RUnlock": lkUnlocked,
+}
+
+// lockOp is one recognized mutex operation.
+type lockOp struct {
+	path string // mutex selector path ("n.mu")
+	name string // method name (Lock, RLock, Unlock, RUnlock)
+	pos  token.Pos
+}
+
+// lockOpOf recognizes a direct mutex method call expression.
+func lockOpOf(e ast.Expr) (lockOp, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockOp{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	if _, ok := mutexMethods[sel.Sel.Name]; !ok {
+		return lockOp{}, false
+	}
+	path := selectorPath(sel.X)
+	if path == "" {
+		return lockOp{}, false
+	}
+	return lockOp{path: path, name: sel.Sel.Name, pos: call.Pos()}, true
+}
+
+// deferredUnlocks lists the unlock operations a defer statement pins:
+// `defer mu.Unlock()` directly, or unlock calls inside a deferred closure.
+func deferredUnlocks(d *ast.DeferStmt) []lockOp {
+	if op, ok := lockOpOf(d.Call); ok {
+		if op.name == "Unlock" || op.name == "RUnlock" {
+			return []lockOp{op}
+		}
+		return nil
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var out []lockOp
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := lockOpOf(call); ok && (op.name == "Unlock" || op.name == "RUnlock") {
+				out = append(out, op)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// handedOffLocks collects the mutex paths whose Unlock/RUnlock method
+// value is mentioned (uncalled) anywhere in a returned expression.
+func handedOffLocks(e ast.Expr) []string {
+	var out []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+			return true
+		}
+		if path := selectorPath(sel.X); path != "" {
+			out = append(out, path)
+		}
+		return true
+	})
+	return out
+}
+
+// lockHooks are the reporting callbacks a lock-flow client installs; all
+// fire only during the post-fixpoint visit pass, over stable facts.
+type lockHooks struct {
+	// beforeStmt sees every straight-line statement with the fact holding
+	// before it executes (blockcheck's blocking-call scan).
+	beforeStmt func(s ast.Stmt, blk *cfgBlock, f *lockFact)
+	// beforeLock sees a Lock/RLock about to apply to a mutex already in
+	// state st (lockpath's double-lock check).
+	beforeLock func(op lockOp, st lockState)
+	// atExit sees the fact on a non-panic exit edge after deferred unlocks
+	// applied (lockpath's unlock-on-all-paths check).
+	atExit func(pos token.Pos, f *lockFact)
+}
+
+// runLockFlow drives the lock-state dataflow over one function body and
+// fires hooks on the stable facts.
+func runLockFlow(body *ast.BlockStmt, hooks lockHooks) {
+	g := buildCFG(body)
+	reporting := false
+	spec := &flowSpec[*lockFact]{
+		entry:  newLockFact,
+		bottom: newLockFact,
+		transfer: func(f *lockFact, s ast.Stmt, blk *cfgBlock) *lockFact {
+			if reporting && hooks.beforeStmt != nil {
+				hooks.beforeStmt(s, blk, f)
+			}
+			switch x := s.(type) {
+			case *ast.ExprStmt:
+				if op, ok := lockOpOf(x.X); ok {
+					st := mutexMethods[op.name]
+					if reporting && hooks.beforeLock != nil && st != lkUnlocked {
+						hooks.beforeLock(op, f.held[op.path])
+					}
+					if st == lkUnlocked {
+						delete(f.held, op.path)
+					} else {
+						f.held[op.path] = st
+					}
+				}
+			case *ast.DeferStmt:
+				for _, op := range deferredUnlocks(x) {
+					f.deferred[op.path] = true
+				}
+			case *ast.ReturnStmt:
+				// Returning a held mutex's Unlock method value is a lock
+				// hand-off: the caller owns the release (the keyedLocks
+				// pattern — `m.Lock(); return m.Unlock`).
+				for _, r := range x.Results {
+					for _, path := range handedOffLocks(r) {
+						delete(f.held, path)
+					}
+				}
+			}
+			return f
+		},
+		evalExpr: func(f *lockFact, _ ast.Expr) *lockFact { return f },
+		edge: func(f *lockFact, e *cfgEdge) *lockFact {
+			if e.kind == edgeExit || e.kind == edgePanic {
+				for path := range f.deferred {
+					delete(f.held, path)
+				}
+				if reporting && e.kind == edgeExit && hooks.atExit != nil {
+					hooks.atExit(e.pos, f)
+				}
+			}
+			return f
+		},
+		join: func(old, new *lockFact) (*lockFact, bool) {
+			return old, old.join(new)
+		},
+		clone: func(f *lockFact) *lockFact { return f.clone() },
+	}
+	spec.analyze(g, func(r bool) { reporting = r })
+}

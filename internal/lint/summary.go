@@ -107,10 +107,16 @@ func computeSummaries(pkgs []*Package, sanitizers map[string]bool) map[string]*f
 			sums[fn.Name.Name] = &funcSummary{}
 		}
 	}
+	// Each function is reinterpreted once per input per round; its CFG
+	// never changes, so build it once.
+	graphs := make(map[*ast.FuncDecl]*cfgGraph, len(decls))
+	for _, fn := range decls {
+		graphs[fn] = buildCFG(fn.Body)
+	}
 	for round := 0; round < maxSummaryRounds; round++ {
 		changed := false
 		for _, fn := range decls {
-			ns := summarizeFunc(fn, sanitizers, sums)
+			ns := summarizeFunc(fn, sanitizers, sums, graphs[fn])
 			if sums[fn.Name.Name].join(ns) {
 				changed = true
 			}
@@ -125,15 +131,15 @@ func computeSummaries(pkgs []*Package, sanitizers map[string]bool) map[string]*f
 // summarizeFunc measures one function's transfer facts against the current
 // summary table: one interpretation with everything trusted for the base,
 // then one per input with that input alone seeded untrusted.
-func summarizeFunc(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]*funcSummary) funcSummary {
-	out := funcSummary{base: returnTaintWith(fn, sanitizers, sums, "")}
+func summarizeFunc(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]*funcSummary, graph *cfgGraph) funcSummary {
+	out := funcSummary{base: returnTaintWith(fn, sanitizers, sums, "", graph)}
 	if recv := receiverName(fn); recv != "" {
-		out.recv = transferFact(fn, sanitizers, sums, recv, out.base)
+		out.recv = transferFact(fn, sanitizers, sums, recv, out.base, graph)
 	}
 	for _, p := range paramNames(fn.Type) {
 		fact := taintTrusted
 		if p != "_" && p != "" {
-			fact = transferFact(fn, sanitizers, sums, p, out.base)
+			fact = transferFact(fn, sanitizers, sums, p, out.base, graph)
 		}
 		out.params = append(out.params, fact)
 	}
@@ -144,8 +150,8 @@ func summarizeFunc(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string
 // return taint with that input untrusted, floored at the base so intrinsic
 // sources don't masquerade as parameter flow, then inverted into a
 // transfer fact.
-func transferFact(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]*funcSummary, input string, base taint) taint {
-	t := returnTaintWith(fn, sanitizers, sums, input)
+func transferFact(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]*funcSummary, input string, base taint, graph *cfgGraph) taint {
+	t := returnTaintWith(fn, sanitizers, sums, input, graph)
 	// The measured taint includes base effects; the transfer is whatever
 	// rises above them. If seeding the input did not raise the result, the
 	// input does not flow to the return.
@@ -158,7 +164,7 @@ func transferFact(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]
 // returnTaintWith interprets fn's body with the named input (receiver or
 // parameter) seeded untrusted — or nothing seeded when input is "" — and
 // returns the joined taint of every return site.
-func returnTaintWith(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]*funcSummary, input string) taint {
+func returnTaintWith(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[string]*funcSummary, input string, graph *cfgGraph) taint {
 	seeds := map[string]taint{}
 	if input != "" {
 		seeds[input] = taintUntrusted
@@ -168,6 +174,7 @@ func returnTaintWith(fn *ast.FuncDecl, sanitizers map[string]bool, sums map[stri
 		sanitizers: sanitizers,
 		summaries:  sums,
 		seedParams: seeds,
+		graph:      graph,
 	}
 	flow.run()
 	return flow.ret
