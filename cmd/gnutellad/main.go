@@ -38,7 +38,7 @@ func main() {
 		queryWait = flag.Duration("query-wait", 3*time.Second, "how long to collect hits")
 		oneshot   = flag.Bool("oneshot", false, "exit after the query completes")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /varz on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, and /debug/pprof on this address")
 		debug       = flag.Bool("debug", false, "log protocol-level debug detail")
 	)
 	flag.Parse()

@@ -36,7 +36,7 @@ func main() {
 		searchWait = flag.Duration("search-wait", 3*time.Second, "how long to collect results")
 		oneshot    = flag.Bool("oneshot", false, "exit after the search completes")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /varz on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, and /debug/pprof on this address")
 		debug       = flag.Bool("debug", false, "log protocol-level debug detail")
 	)
 	flag.Parse()

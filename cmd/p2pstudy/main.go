@@ -7,6 +7,11 @@
 //	p2pstudy -days 30 -queries-per-day 96 -out trace.jsonl [-csv trace.csv]
 //	p2pstudy -network limewire -days 7 -out week.jsonl
 //	p2pstudy -days 7 -faults canonical -out hostile.jsonl
+//	p2pstudy -days 2 -spans spans.jsonl -spans-wall-latency  # then p2pprof spans.jsonl
+//	p2pstudy -days 2 -profile cpu,heap -profile-dir prof
+//
+// With -metrics-addr the server also exposes net/http/pprof under
+// /debug/pprof/ for live profiling.
 package main
 
 import (
@@ -14,6 +19,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,6 +30,76 @@ import (
 	"p2pmalware/internal/netsim"
 	"p2pmalware/internal/obs"
 )
+
+// profiler drives runtime/pprof collection for the run: -profile names the
+// profiles (cpu, heap, mutex) and -profile-dir the output directory.
+type profiler struct {
+	dir     string
+	cpuFile *os.File
+	heap    bool
+	mutex   bool
+}
+
+func startProfiles(spec, dir string) (*profiler, error) {
+	p := &profiler{dir: dir}
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "":
+		case "cpu":
+			f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+			if err != nil {
+				return nil, err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			p.cpuFile = f
+		case "heap":
+			p.heap = true
+		case "mutex":
+			p.mutex = true
+			runtime.SetMutexProfileFraction(5)
+		default:
+			return nil, fmt.Errorf("unknown -profile %q (want cpu, heap, mutex)", name)
+		}
+	}
+	return p, nil
+}
+
+func (p *profiler) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			log.Print(err)
+		}
+		fmt.Printf("wrote %s\n", p.cpuFile.Name())
+	}
+	if p.heap {
+		p.write("heap")
+	}
+	if p.mutex {
+		p.write("mutex")
+	}
+}
+
+func (p *profiler) write(name string) {
+	path := filepath.Join(p.dir, name+".pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	if name == "heap" {
+		runtime.GC() // capture a settled live set
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		log.Print(err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,9 +122,19 @@ func main() {
 		progress    = flag.Duration("progress", 24*time.Hour, "virtual interval between progress reports (0 disables)")
 		events      = flag.String("events", "", "optional event-trace output path (JSONL, virtual timestamps)")
 		wallLatency = flag.Bool("events-wall-latency", false, "add wall_us download latency to trace events (breaks trace determinism)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /varz on this address during the run")
+		spans       = flag.String("spans", "", "optional span-stream output path (JSONL, for cmd/p2pprof)")
+		spansWall   = flag.Bool("spans-wall-latency", false, "add measured wall_us durations to spans (breaks span determinism)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, and /debug/pprof on this address during the run")
+		profSpec    = flag.String("profile", "", "comma-separated runtime profiles to capture: cpu, heap, mutex")
+		profDir     = flag.String("profile-dir", ".", "directory for -profile output (cpu.pprof, heap.pprof, mutex.pprof)")
 	)
 	flag.Parse()
+
+	prof, err := startProfiles(*profSpec, *profDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer prof.stop()
 
 	if *metricsAddr != "" {
 		srv, err := obs.StartServer(*metricsAddr, nil)
@@ -66,7 +154,8 @@ func main() {
 		Seed: *seed, Days: *days, QueriesPerDay: *perDay,
 		Quiesce: *quiesce, ChurnPerDay: *churn, Workers: *workers,
 		ProgressEvery: *progress, TraceWallLatency: *wallLatency,
-		Faults: plan,
+		SpanWallLatency: *spansWall,
+		Faults:          plan,
 	}
 	switch *network {
 	case "both":
@@ -124,6 +213,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d events)\n", *events, len(study.Events()))
+	}
+
+	if *spans != "" {
+		sf, err := os.Create(*spans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := study.WriteSpans(sf); err != nil {
+			log.Fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *spans, len(study.Spans()))
 	}
 
 	if *csvOut != "" {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -20,98 +21,121 @@ import (
 	"p2pmalware/internal/dataset"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("p2ptrace: ")
-	var (
-		tracePath    = flag.String("trace", "trace.jsonl", "trace file written by p2pstudy")
-		network      = flag.String("network", "", "filter: network (limewire or openft)")
-		query        = flag.String("query", "", "filter: substring of the query")
-		family       = flag.String("malware", "", "filter: malware family (\"any\" = all malicious)")
-		sourceClass  = flag.String("source-class", "", "filter: source address class")
-		sourceIP     = flag.String("source-ip", "", "filter: exact source IP")
-		downloadable = flag.Bool("downloadable", false, "filter: only archive/executable responses")
-		failed       = flag.Bool("failed", false, "filter: only failed downloads")
-		limit        = flag.Int("limit", 20, "maximum records to print (0 = all)")
-		countOnly    = flag.Bool("count", false, "print only the matching record count")
-	)
-	flag.Parse()
+// filters is the record predicate assembled from the flag set.
+type filters struct {
+	network      string
+	query        string
+	family       string // "any" matches every malicious record
+	sourceClass  string
+	sourceIP     string
+	downloadable bool
+	failed       bool
+}
 
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		log.Fatal(err)
+func (f *filters) match(r *dataset.ResponseRecord) bool {
+	if f.network != "" && string(r.Network) != f.network {
+		return false
 	}
-	defer f.Close()
-	tr, err := dataset.ReadJSONL(f)
-	if err != nil {
-		log.Fatal(err)
+	if f.query != "" && !strings.Contains(r.Query, f.query) {
+		return false
 	}
+	switch {
+	case f.family == "":
+	case f.family == "any":
+		if !r.Malicious() {
+			return false
+		}
+	default:
+		if r.Malware != f.family {
+			return false
+		}
+	}
+	if f.sourceClass != "" && r.SourceClass != f.sourceClass {
+		return false
+	}
+	if f.sourceIP != "" && r.SourceIP != f.sourceIP {
+		return false
+	}
+	if f.downloadable && !r.Downloadable {
+		return false
+	}
+	if f.failed && (r.DownloadError == "" || r.Downloaded) {
+		return false
+	}
+	return true
+}
 
-	match := func(r *dataset.ResponseRecord) bool {
-		if *network != "" && string(r.Network) != *network {
-			return false
-		}
-		if *query != "" && !strings.Contains(r.Query, *query) {
-			return false
-		}
-		switch {
-		case *family == "":
-		case *family == "any":
-			if !r.Malicious() {
-				return false
-			}
-		default:
-			if r.Malware != *family {
-				return false
-			}
-		}
-		if *sourceClass != "" && r.SourceClass != *sourceClass {
-			return false
-		}
-		if *sourceIP != "" && r.SourceIP != *sourceIP {
-			return false
-		}
-		if *downloadable && !r.Downloadable {
-			return false
-		}
-		if *failed && (r.DownloadError == "" || r.Downloaded) {
-			return false
-		}
-		return true
+// recordLabel condenses a record's outcome into the one-word trailer.
+func recordLabel(r *dataset.ResponseRecord) string {
+	switch {
+	case r.Malicious():
+		return "MALWARE:" + r.Malware
+	case !r.Downloaded && r.Downloadable:
+		return "failed:" + r.DownloadError
+	case !r.Downloadable:
+		return "media"
+	default:
+		return "clean"
 	}
+}
 
-	matched, printed := 0, 0
+// report prints matching records to w, capped at limit (0 = no cap, print
+// every match), or only the match count when countOnly is set. Returns
+// (matched, printed) so tests can pin the limit semantics.
+func report(w io.Writer, tr *dataset.Trace, f *filters, limit int, countOnly bool) (matched, printed int) {
 	for i := range tr.Records {
 		r := &tr.Records[i]
-		if !match(r) {
+		if !f.match(r) {
 			continue
 		}
 		matched++
-		if *countOnly || (*limit > 0 && printed >= *limit) {
+		if countOnly || (limit > 0 && printed >= limit) {
 			continue
 		}
-		label := "clean"
-		switch {
-		case r.Malicious():
-			label = "MALWARE:" + r.Malware
-		case !r.Downloaded && r.Downloadable:
-			label = "failed:" + r.DownloadError
-		case !r.Downloadable:
-			label = "media"
-		}
-		fmt.Printf("%s  %-8s  %-28q  %-40q %9d  %s:%d (%s)  %s\n",
+		fmt.Fprintf(w, "%s  %-8s  %-28q  %-40q %9d  %s:%d (%s)  %s\n",
 			r.Time.Format("2006-01-02 15:04"), r.Network, r.Query, r.Filename,
-			r.Size, r.SourceIP, r.SourcePort, r.SourceClass, label)
+			r.Size, r.SourceIP, r.SourcePort, r.SourceClass, recordLabel(r))
 		printed++
 	}
-	if *countOnly {
-		fmt.Println(matched)
-		return
+	if countOnly {
+		fmt.Fprintln(w, matched)
+		return matched, printed
 	}
 	if matched > printed {
-		fmt.Printf("... %d more matching records (raise -limit to see them)\n", matched-printed)
+		fmt.Fprintf(w, "... %d more matching records (raise -limit to see them)\n", matched-printed)
 	}
 	if matched == 0 {
-		fmt.Println("no matching records")
+		fmt.Fprintln(w, "no matching records")
 	}
+	return matched, printed
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2ptrace: ")
+	var f filters
+	var (
+		tracePath = flag.String("trace", "trace.jsonl", "trace file written by p2pstudy")
+		limit     = flag.Int("limit", 20, "maximum records to print (0 = all)")
+		countOnly = flag.Bool("count", false, "print only the matching record count")
+	)
+	flag.StringVar(&f.network, "network", "", "filter: network (limewire or openft)")
+	flag.StringVar(&f.query, "query", "", "filter: substring of the query")
+	flag.StringVar(&f.family, "malware", "", "filter: malware family (\"any\" = all malicious)")
+	flag.StringVar(&f.sourceClass, "source-class", "", "filter: source address class")
+	flag.StringVar(&f.sourceIP, "source-ip", "", "filter: exact source IP")
+	flag.BoolVar(&f.downloadable, "downloadable", false, "filter: only archive/executable responses")
+	flag.BoolVar(&f.failed, "failed", false, "filter: only failed downloads")
+	flag.Parse()
+
+	file, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer file.Close()
+	tr, err := dataset.ReadJSONL(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(os.Stdout, tr, &f, *limit, *countOnly)
 }

@@ -69,6 +69,40 @@ func goldenEvents(t *testing.T, network string, faults *faultsim.FaultPlan) []by
 	return buf.Bytes()
 }
 
+// goldenSpans runs the same study as goldenEvents and serializes its
+// span stream instead; with wall annotations off (the default) the
+// stream is deterministic and golden-able exactly like the event trace.
+func goldenSpans(t *testing.T, network string, faults *faultsim.FaultPlan) []byte {
+	t.Helper()
+	cfg := StudyConfig{
+		Seed: 42, Days: 2, QueriesPerDay: 3,
+		Quiesce: 250 * time.Millisecond, MaxWait: 4 * time.Second,
+		Workers:    4,
+		Faults:     faults,
+		FetchRetry: goldenRetry(),
+	}
+	switch network {
+	case "limewire":
+		cfg.LimeWire = &netsim.LimeWireConfig{Seed: 42, HonestLeaves: 12, EchoHosts: 5}
+	case "openft":
+		cfg.OpenFT = &netsim.OpenFTConfig{Seed: 42, HonestUsers: 12}
+	default:
+		t.Fatalf("unknown network %q", network)
+	}
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSpans(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // checkGolden diffs a regenerated trace byte-for-byte against its
 // committed golden, with the package's standard bounded retry absorbing
 // scheduler starvation. -update rewrites the file instead.
@@ -124,4 +158,23 @@ func TestGoldenTraceOpenFTClean(t *testing.T) {
 
 func TestGoldenTraceOpenFTCanonical(t *testing.T) {
 	checkGolden(t, "openft_canonical.jsonl", func() []byte { return goldenEvents(t, "openft", canonicalPlan()) })
+}
+
+// The span goldens gate the deterministic span stream the same way the
+// event goldens gate the event trace: same seed, same bytes.
+
+func TestGoldenTraceLimeWireCleanSpans(t *testing.T) {
+	checkGolden(t, "limewire_clean_spans.jsonl", func() []byte { return goldenSpans(t, "limewire", nil) })
+}
+
+func TestGoldenTraceLimeWireCanonicalSpans(t *testing.T) {
+	checkGolden(t, "limewire_canonical_spans.jsonl", func() []byte { return goldenSpans(t, "limewire", canonicalPlan()) })
+}
+
+func TestGoldenTraceOpenFTCleanSpans(t *testing.T) {
+	checkGolden(t, "openft_clean_spans.jsonl", func() []byte { return goldenSpans(t, "openft", nil) })
+}
+
+func TestGoldenTraceOpenFTCanonicalSpans(t *testing.T) {
+	checkGolden(t, "openft_canonical_spans.jsonl", func() []byte { return goldenSpans(t, "openft", canonicalPlan()) })
 }

@@ -147,6 +147,9 @@ func (d *lwDemux) del(g guid.GUID) {
 type lwDone struct {
 	rec    dataset.ResponseRecord
 	wallUS int64
+	// trail is the cache entries the fetch touched (advertised source
+	// first, then alternates), for attempt-span emission in commit order.
+	trail []*fetchEntry
 }
 
 // runLimeWire drives the instrumented LimeWire client over the simulated
@@ -199,6 +202,7 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 	clock := simclock.NewVirtual(s.cfg.Epoch)
 	trace := obs.NewTracer(clock, "limewire")
 	s.addTracer(trace)
+	spans := s.newSpanRecorder("limewire")
 	pl := newPipeline(s.cfg.Workers, lwMet)
 	defer pl.stop()
 	var tl tally
@@ -223,6 +227,10 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 					if opened, closed := fx.br.advance(); opened+closed > 0 {
 						lwMet.circuitOpen.Add(int64(opened))
 						trace.Emit("circuit", obs.Int("day", int64(day)), obs.Int("opened", int64(opened)), obs.Int("closed", int64(closed)))
+						// The barrier drained the pipeline, so emitting from
+						// the clock goroutine keeps span order deterministic.
+						spans.AddWallUS(obs.Span{Time: now, Seq: int64(day), Stage: obs.StageCircuit,
+							Detail: fmt.Sprintf("opened=%d closed=%d", opened, closed)}, 0)
 					}
 				}
 				if churn <= 0 {
@@ -255,121 +263,130 @@ func (s *Study) runLimeWire(tr *dataset.Trace) error {
 			var hits []lwHit
 			var out []lwDone
 			var floodErr error
-			pl.submit(&pipeTask{
-				collect: func() {
-					col := &lwCollector{set: newSettler(wallClock)}
-					g := guid.New()
-					demux.put(g, col)
-					if err := client.QueryWith(g, term.Text, ""); err != nil {
-						demux.del(g)
-						floodErr = err
-						return
-					}
-					collectStart := wallClock.Now()
-					col.set.settle(s.cfg.Quiesce, s.cfg.MaxWait)
+			task := &pipeTask{seq: int64(i), at: now, spans: spans}
+			task.collect = func() {
+				col := &lwCollector{set: newSettler(wallClock)}
+				g := guid.New()
+				demux.put(g, col)
+				if err := client.QueryWith(g, term.Text, ""); err != nil {
 					demux.del(g)
-					lwMet.stageCollect.ObserveDuration(simclock.Since(wallClock, collectStart))
-					hits = col.take()
-					sortLWHits(hits)
-				},
-				run: func() {
-					if floodErr != nil {
-						return
-					}
-					fetchStart := wallClock.Now()
-					out = make([]lwDone, 0, len(hits))
-					for _, h := range hits {
-						name := p2p.SanitizeFilename(h.hit.Name)
-						d := lwDone{rec: dataset.ResponseRecord{
-							Time:          now,
-							Network:       dataset.LimeWire,
-							Query:         term.Text,
-							QueryCategory: string(term.Category),
-							Filename:      name,
-							Size:          int64(h.hit.Size),
-							SourceIP:      h.qh.IP.String(),
-							SourcePort:    h.qh.Port,
-							SourceClass:   ipaddr.Classify(h.qh.IP).String(),
-							ServentID:     h.qh.ServentID.String(),
-							ContentID:     h.hit.Extensions,
-							Vendor:        h.qh.Vendor,
-							PushFlagged:   h.qh.Flags&gnutella.QHDPush != 0,
-							Downloadable:  archive.IsDownloadable(name),
-						}}
-						if d.rec.Downloadable {
-							var wallStart time.Time
-							if s.cfg.TraceWallLatency {
-								wallStart = wallClock.Now()
-							}
-							res := s.fetchLimeWire(client, net_, h, hits, cache, pushLocks, fx)
-							applyResult(&d.rec, res)
-							if s.cfg.TraceWallLatency {
-								d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
-							}
+					floodErr = err
+					return
+				}
+				collectStart := wallClock.Now()
+				col.set.settle(s.cfg.Quiesce, s.cfg.MaxWait)
+				demux.del(g)
+				lwMet.stageCollect.ObserveDuration(simclock.Since(wallClock, collectStart))
+				hits = col.take()
+				sortLWHits(hits)
+			}
+			task.run = func() {
+				if floodErr != nil {
+					return
+				}
+				fetchStart := wallClock.Now()
+				out = make([]lwDone, 0, len(hits))
+				for _, h := range hits {
+					name := p2p.SanitizeFilename(h.hit.Name)
+					d := lwDone{rec: dataset.ResponseRecord{
+						Time:          now,
+						Network:       dataset.LimeWire,
+						Query:         term.Text,
+						QueryCategory: string(term.Category),
+						Filename:      name,
+						Size:          int64(h.hit.Size),
+						SourceIP:      h.qh.IP.String(),
+						SourcePort:    h.qh.Port,
+						SourceClass:   ipaddr.Classify(h.qh.IP).String(),
+						ServentID:     h.qh.ServentID.String(),
+						ContentID:     h.hit.Extensions,
+						Vendor:        h.qh.Vendor,
+						PushFlagged:   h.qh.Flags&gnutella.QHDPush != 0,
+						Downloadable:  archive.IsDownloadable(name),
+					}}
+					if d.rec.Downloadable {
+						task.downloads++
+						var wallStart time.Time
+						if s.cfg.TraceWallLatency {
+							wallStart = wallClock.Now()
 						}
-						out = append(out, d)
+						res, trail := s.fetchLimeWire(client, net_, h, hits, cache, pushLocks, fx, &task.scanNS)
+						applyResult(&d.rec, res)
+						d.trail = trail
+						if s.cfg.TraceWallLatency {
+							d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
+						}
 					}
-					lwMet.stageFetch.ObserveDuration(simclock.Since(wallClock, fetchStart))
-				},
-				commit: func() {
-					// The sequential engine emitted the query event before
-					// flooding, so a failed flood still gets its event.
-					emitQuery()
-					if floodErr != nil {
-						errs.set(floodErr)
-						return
-					}
-					tr.QueriesSent[dataset.LimeWire]++
-					tl.queries++
-					tl.responses += len(out)
-					lwMet.queries.Inc()
-					lwMet.responses.Add(int64(len(out)))
-					trace.EmitAt(now, "responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(out))))
-					for _, d := range out {
-						rec := d.rec
-						if rec.Downloadable {
-							attrs := []obs.Attr{
-								obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
-								obs.String("file", rec.Filename),
-								obs.Int("size", rec.BodySize),
-								obs.String("verdict", downloadVerdict(&rec)),
-							}
+					out = append(out, d)
+				}
+				lwMet.stageFetch.ObserveDuration(simclock.Since(wallClock, fetchStart))
+			}
+			task.post = func() {
+				trails := make([][]*fetchEntry, 0, len(out))
+				for _, d := range out {
+					trails = append(trails, d.trail)
+				}
+				emitAttemptSpans(spans, task.seq, now, trails)
+			}
+			task.commit = func() {
+				// The sequential engine emitted the query event before
+				// flooding, so a failed flood still gets its event.
+				emitQuery()
+				if floodErr != nil {
+					errs.set(floodErr)
+					return
+				}
+				tr.QueriesSent[dataset.LimeWire]++
+				tl.queries++
+				tl.responses += len(out)
+				lwMet.queries.Inc()
+				lwMet.responses.Add(int64(len(out)))
+				trace.EmitAt(now, "responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(out))))
+				for _, d := range out {
+					rec := d.rec
+					if rec.Downloadable {
+						attrs := []obs.Attr{
+							obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
+							obs.String("file", rec.Filename),
+							obs.Int("size", rec.BodySize),
+							obs.String("verdict", downloadVerdict(&rec)),
+						}
+						if rec.AltSource != "" {
+							attrs = append(attrs, obs.String("alt", rec.AltSource))
+						}
+						if s.cfg.TraceWallLatency {
+							attrs = append(attrs, obs.Int("wall_us", d.wallUS))
+						}
+						trace.EmitAt(now, "download", attrs...)
+						if rec.DownloadError != "" {
+							lwMet.downloadsErr.Inc()
+							lwMet.fetchFailed.Inc()
+						} else {
+							lwMet.downloadsOK.Inc()
 							if rec.AltSource != "" {
-								attrs = append(attrs, obs.String("alt", rec.AltSource))
-							}
-							if s.cfg.TraceWallLatency {
-								attrs = append(attrs, obs.Int("wall_us", d.wallUS))
-							}
-							trace.EmitAt(now, "download", attrs...)
-							if rec.DownloadError != "" {
-								lwMet.downloadsErr.Inc()
-								lwMet.fetchFailed.Inc()
-							} else {
-								lwMet.downloadsOK.Inc()
-								if rec.AltSource != "" {
-									lwMet.altOK.Inc()
-								}
-							}
-							if fx != nil && !rec.PushFlagged {
-								// The advertised source failed whenever the
-								// fetch errored or had to fall back to an
-								// alternate; the committer records outcomes
-								// in commit order so breaker state is
-								// schedule-independent.
-								fx.br.record(rec.SourceIP, rec.DownloadError == "" && rec.AltSource == "")
-							}
-							if rec.Malware != "" {
-								tl.malware++
-								lwMet.malware.Inc()
+								lwMet.altOK.Inc()
 							}
 						}
-						tr.Add(rec)
+						if fx != nil && !rec.PushFlagged {
+							// The advertised source failed whenever the
+							// fetch errored or had to fall back to an
+							// alternate; the committer records outcomes
+							// in commit order so breaker state is
+							// schedule-independent.
+							fx.br.record(rec.SourceIP, rec.DownloadError == "" && rec.AltSource == "")
+						}
+						if rec.Malware != "" {
+							tl.malware++
+							lwMet.malware.Inc()
+						}
 					}
-					if (i+1)%500 == 0 {
-						s.progress("limewire: %d/%d queries, %d records", i+1, total, len(tr.Records))
-					}
-				},
-			})
+					tr.Add(rec)
+				}
+				if (i+1)%500 == 0 {
+					s.progress("limewire: %d/%d queries, %d records", i+1, total, len(tr.Records))
+				}
+			}
+			pl.submit(task)
 		})
 	}
 	s.scheduleProgress(clock, trace, "limewire", &tl, pl.barrier)
@@ -400,15 +417,18 @@ func sortLWHits(hits []lwHit) {
 }
 
 // fetchLimeWire fetches a downloadable hit (directly, or via push for
-// firewalled sources) and returns its labelled verdict. Under an active
+// firewalled sources) and returns its labelled verdict plus the trail of
+// cache entries it touched (for attempt-span emission). Under an active
 // fault plan a retryably-failed direct fetch falls back to alternate
 // sources: other responders in the same query's sorted hit list that
 // advertise the same content (matched by URN when the hit carried one,
 // else by name+size), tried in hit order so the choice is deterministic.
-func (s *Study) fetchLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, h lwHit, hits []lwHit, cache *fetchCache, pushLocks *keyedLocks, fx *netFaults) fetchResult {
-	res := s.fetchLWOnce(client, net_, h, cache, pushLocks, fx)
+func (s *Study) fetchLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, h lwHit, hits []lwHit, cache *fetchCache, pushLocks *keyedLocks, fx *netFaults, scanNS *int64) (fetchResult, []*fetchEntry) {
+	e := s.fetchLWOnce(client, net_, h, cache, pushLocks, fx, scanNS)
+	trail := []*fetchEntry{e}
+	res := e.res
 	if fx == nil || res.err == nil || h.qh.Flags&gnutella.QHDPush != 0 || !gnutella.Retryable(res.err) {
-		return res
+		return res, trail
 	}
 	want := lwAltKey(h)
 	for _, a := range hits {
@@ -418,13 +438,14 @@ func (s *Study) fetchLimeWire(client *gnutella.Node, net_ *netsim.LimeWireNet, h
 		if a.qh.IP.Equal(h.qh.IP) && a.qh.Port == h.qh.Port {
 			continue // the source that just failed
 		}
-		alt := s.fetchLWOnce(client, net_, a, cache, pushLocks, fx)
-		if alt.err == nil {
+		ae := s.fetchLWOnce(client, net_, a, cache, pushLocks, fx, scanNS)
+		trail = append(trail, ae)
+		if alt := ae.res; alt.err == nil {
 			alt.alt = fmt.Sprintf("%s:%d", a.qh.IP, a.qh.Port)
-			return alt
+			return alt, trail
 		}
 	}
-	return res
+	return res, trail
 }
 
 // lwAltKey is the content identity used to group alternate sources: the
@@ -436,37 +457,46 @@ func lwAltKey(h lwHit) string {
 	return fmt.Sprintf("%s/%d", h.hit.Name, h.hit.Size)
 }
 
-// fetchLWOnce fetches one hit through the deduplicating cache. The cache
-// gives singleflight semantics per source endpoint + index, and the
-// keyed lock serializes push downloads per (servent, index) so
-// concurrent workers cannot collide on the push-callback registration.
-// In fault mode the closure dials through the injector-wrapped transport
-// with retry/backoff, after the per-host circuit breaker agrees; fault
-// decisions are PRF-keyed by (plan seed, cache key, attempt), so the
-// cached result is the same no matter which worker fetches first.
-func (s *Study) fetchLWOnce(client *gnutella.Node, net_ *netsim.LimeWireNet, h lwHit, cache *fetchCache, pushLocks *keyedLocks, fx *netFaults) fetchResult {
+// fetchLWOnce fetches one hit through the deduplicating cache and returns
+// its entry. The cache gives singleflight semantics per source endpoint +
+// index, and the keyed lock serializes push downloads per (servent,
+// index) so concurrent workers cannot collide on the push-callback
+// registration. In fault mode the closure dials through the
+// injector-wrapped transport with retry/backoff, after the per-host
+// circuit breaker agrees; fault decisions are PRF-keyed by (plan seed,
+// cache key, attempt), so the cached result is the same no matter which
+// worker fetches first. Every path leaves a per-attempt log in the entry
+// (the clean and push paths as a single attempt), fate-classified into
+// stable tokens for span emission.
+func (s *Study) fetchLWOnce(client *gnutella.Node, net_ *netsim.LimeWireNet, h lwHit, cache *fetchCache, pushLocks *keyedLocks, fx *netFaults, scanNS *int64) *fetchEntry {
 	key := fmt.Sprintf("%s:%d/%d/%d", h.qh.IP, h.qh.Port, h.hit.Index, h.hit.Size)
+	addr := fmt.Sprintf("%s:%d", h.qh.IP, h.qh.Port)
 	push := h.qh.Flags&gnutella.QHDPush != 0
-	return cache.do(key, func() fetchResult {
+	return cache.do(key, addr, func() fetchResult {
 		var body []byte
 		var err error
+		var attempts []p2p.Attempt
 		switch {
 		case push:
 			// Push transfers ride the overlay control plane, which the
 			// injector does not wrap; they keep the clean path.
 			unlock := pushLocks.lock(fmt.Sprintf("%s/%d", h.qh.ServentID, h.hit.Index))
+			start := wallClock.Now()
 			body, err = client.DownloadViaPush(h.qh.ServentID, h.hit.Index, h.hit.Name, 5*time.Second)
+			attempts = []p2p.Attempt{{Fate: gnutella.Fate(err), Wall: simclock.Since(wallClock, start)}}
 			unlock()
 		case fx != nil:
 			if !fx.br.allowed(h.qh.IP.String()) {
-				return fetchResult{err: errCircuitOpen}
+				return fetchResult{err: errCircuitOpen, attempts: []p2p.Attempt{{Fate: fateCircuitOpen}}}
 			}
-			addr := fmt.Sprintf("%s:%d", h.qh.IP, h.qh.Port)
-			body, err = gnutella.DownloadWithRetry(fx.inj.Transport(key), addr, h.hit.Index, h.hit.Name, fx.policy)
+			body, attempts, err = gnutella.DownloadAttempts(fx.inj.Transport(key), addr, h.hit.Index, h.hit.Name, fx.policy)
 		default:
-			addr := fmt.Sprintf("%s:%d", h.qh.IP, h.qh.Port)
+			start := wallClock.Now()
 			body, err = gnutella.Download(net_.Mem, addr, h.hit.Index, h.hit.Name)
+			attempts = []p2p.Attempt{{Fate: gnutella.Fate(err), Wall: simclock.Since(wallClock, start)}}
 		}
-		return s.labelFetch(body, err)
+		res := s.labelFetch(body, err, scanNS)
+		res.attempts = attempts
+		return res
 	})
 }

@@ -131,6 +131,9 @@ func (c *ftCollector) take() []openft.SearchResp {
 type ftDone struct {
 	rec    dataset.ResponseRecord
 	wallUS int64
+	// trail is the cache entries the fetch touched (advertised source
+	// first, then alternates), for attempt-span emission in commit order.
+	trail []*fetchEntry
 }
 
 // runOpenFT drives the instrumented giFT/OpenFT client over the simulated
@@ -177,6 +180,7 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 	clock := simclock.NewVirtual(s.cfg.Epoch)
 	trace := obs.NewTracer(clock, "openft")
 	s.addTracer(trace)
+	spans := s.newSpanRecorder("openft")
 	pl := newPipeline(s.cfg.Workers, ftMet)
 	defer pl.stop()
 	var tl tally
@@ -198,6 +202,10 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 				if opened, closed := fx.br.advance(); opened+closed > 0 {
 					ftMet.circuitOpen.Add(int64(opened))
 					trace.Emit("circuit", obs.Int("day", int64(day)), obs.Int("opened", int64(opened)), obs.Int("closed", int64(closed)))
+					// The barrier drained the pipeline, so emitting from
+					// the clock goroutine keeps span order deterministic.
+					spans.AddWallUS(obs.Span{Time: now, Seq: int64(day), Stage: obs.StageCircuit,
+						Detail: fmt.Sprintf("opened=%d closed=%d", opened, closed)}, 0)
 				}
 				if churn <= 0 {
 					return
@@ -228,115 +236,124 @@ func (s *Study) runOpenFT(tr *dataset.Trace) error {
 			var results []openft.SearchResp
 			var out []ftDone
 			var floodErr error
-			pl.submit(&pipeTask{
-				collect: func() {
-					col := &ftCollector{set: newSettler(wallClock)}
-					id := openft.NewSearchID()
-					demux.put(id, col)
-					if err := client.SearchWith(id, term.Text); err != nil {
-						demux.del(id)
-						floodErr = err
-						return
-					}
-					collectStart := wallClock.Now()
-					col.set.settle(s.cfg.Quiesce, s.cfg.MaxWait)
+			task := &pipeTask{seq: int64(i), at: now, spans: spans}
+			task.collect = func() {
+				col := &ftCollector{set: newSettler(wallClock)}
+				id := openft.NewSearchID()
+				demux.put(id, col)
+				if err := client.SearchWith(id, term.Text); err != nil {
 					demux.del(id)
-					ftMet.stageCollect.ObserveDuration(simclock.Since(wallClock, collectStart))
-					results = col.take()
-					sortFTResults(results)
-				},
-				run: func() {
-					if floodErr != nil {
-						return
-					}
-					fetchStart := wallClock.Now()
-					out = make([]ftDone, 0, len(results))
-					for _, r := range results {
-						name := p2p.SanitizeFilename(r.Path)
-						d := ftDone{rec: dataset.ResponseRecord{
-							Time:          now,
-							Network:       dataset.OpenFT,
-							Query:         term.Text,
-							QueryCategory: string(term.Category),
-							Filename:      name,
-							Size:          int64(r.Size),
-							SourceIP:      r.IP.String(),
-							SourcePort:    r.Port,
-							SourceClass:   ipaddr.Classify(r.IP).String(),
-							ContentID:     r.MD5,
-							Downloadable:  archive.IsDownloadable(name),
-						}}
-						if d.rec.Downloadable {
-							var wallStart time.Time
-							if s.cfg.TraceWallLatency {
-								wallStart = wallClock.Now()
-							}
-							res := s.fetchOpenFT(net_, r, results, cache, fx)
-							applyResult(&d.rec, res)
-							if s.cfg.TraceWallLatency {
-								d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
-							}
+					floodErr = err
+					return
+				}
+				collectStart := wallClock.Now()
+				col.set.settle(s.cfg.Quiesce, s.cfg.MaxWait)
+				demux.del(id)
+				ftMet.stageCollect.ObserveDuration(simclock.Since(wallClock, collectStart))
+				results = col.take()
+				sortFTResults(results)
+			}
+			task.run = func() {
+				if floodErr != nil {
+					return
+				}
+				fetchStart := wallClock.Now()
+				out = make([]ftDone, 0, len(results))
+				for _, r := range results {
+					name := p2p.SanitizeFilename(r.Path)
+					d := ftDone{rec: dataset.ResponseRecord{
+						Time:          now,
+						Network:       dataset.OpenFT,
+						Query:         term.Text,
+						QueryCategory: string(term.Category),
+						Filename:      name,
+						Size:          int64(r.Size),
+						SourceIP:      r.IP.String(),
+						SourcePort:    r.Port,
+						SourceClass:   ipaddr.Classify(r.IP).String(),
+						ContentID:     r.MD5,
+						Downloadable:  archive.IsDownloadable(name),
+					}}
+					if d.rec.Downloadable {
+						task.downloads++
+						var wallStart time.Time
+						if s.cfg.TraceWallLatency {
+							wallStart = wallClock.Now()
 						}
-						out = append(out, d)
+						res, trail := s.fetchOpenFT(net_, r, results, cache, fx, &task.scanNS)
+						applyResult(&d.rec, res)
+						d.trail = trail
+						if s.cfg.TraceWallLatency {
+							d.wallUS = int64(simclock.Since(wallClock, wallStart) / time.Microsecond)
+						}
 					}
-					ftMet.stageFetch.ObserveDuration(simclock.Since(wallClock, fetchStart))
-				},
-				commit: func() {
-					// The sequential engine emitted the query event before
-					// flooding, so a failed flood still gets its event.
-					emitQuery()
-					if floodErr != nil {
-						errs.set(floodErr)
-						return
-					}
-					tr.QueriesSent[dataset.OpenFT]++
-					tl.queries++
-					tl.responses += len(out)
-					ftMet.queries.Inc()
-					ftMet.responses.Add(int64(len(out)))
-					trace.EmitAt(now, "responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(out))))
-					for _, d := range out {
-						rec := d.rec
-						if rec.Downloadable {
-							attrs := []obs.Attr{
-								obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
-								obs.String("file", rec.Filename),
-								obs.Int("size", rec.BodySize),
-								obs.String("verdict", downloadVerdict(&rec)),
-							}
+					out = append(out, d)
+				}
+				ftMet.stageFetch.ObserveDuration(simclock.Since(wallClock, fetchStart))
+			}
+			task.post = func() {
+				trails := make([][]*fetchEntry, 0, len(out))
+				for _, d := range out {
+					trails = append(trails, d.trail)
+				}
+				emitAttemptSpans(spans, task.seq, now, trails)
+			}
+			task.commit = func() {
+				// The sequential engine emitted the query event before
+				// flooding, so a failed flood still gets its event.
+				emitQuery()
+				if floodErr != nil {
+					errs.set(floodErr)
+					return
+				}
+				tr.QueriesSent[dataset.OpenFT]++
+				tl.queries++
+				tl.responses += len(out)
+				ftMet.queries.Inc()
+				ftMet.responses.Add(int64(len(out)))
+				trace.EmitAt(now, "responses", obs.Int("n", int64(i)), obs.Int("count", int64(len(out))))
+				for _, d := range out {
+					rec := d.rec
+					if rec.Downloadable {
+						attrs := []obs.Attr{
+							obs.String("source", fmt.Sprintf("%s:%d", rec.SourceIP, rec.SourcePort)),
+							obs.String("file", rec.Filename),
+							obs.Int("size", rec.BodySize),
+							obs.String("verdict", downloadVerdict(&rec)),
+						}
+						if rec.AltSource != "" {
+							attrs = append(attrs, obs.String("alt", rec.AltSource))
+						}
+						if s.cfg.TraceWallLatency {
+							attrs = append(attrs, obs.Int("wall_us", d.wallUS))
+						}
+						trace.EmitAt(now, "download", attrs...)
+						if rec.DownloadError != "" {
+							ftMet.downloadsErr.Inc()
+							ftMet.fetchFailed.Inc()
+						} else {
+							ftMet.downloadsOK.Inc()
 							if rec.AltSource != "" {
-								attrs = append(attrs, obs.String("alt", rec.AltSource))
-							}
-							if s.cfg.TraceWallLatency {
-								attrs = append(attrs, obs.Int("wall_us", d.wallUS))
-							}
-							trace.EmitAt(now, "download", attrs...)
-							if rec.DownloadError != "" {
-								ftMet.downloadsErr.Inc()
-								ftMet.fetchFailed.Inc()
-							} else {
-								ftMet.downloadsOK.Inc()
-								if rec.AltSource != "" {
-									ftMet.altOK.Inc()
-								}
-							}
-							if fx != nil {
-								// Outcomes recorded in commit order keep the
-								// breaker schedule-independent.
-								fx.br.record(rec.SourceIP, rec.DownloadError == "" && rec.AltSource == "")
-							}
-							if rec.Malware != "" {
-								tl.malware++
-								ftMet.malware.Inc()
+								ftMet.altOK.Inc()
 							}
 						}
-						tr.Add(rec)
+						if fx != nil {
+							// Outcomes recorded in commit order keep the
+							// breaker schedule-independent.
+							fx.br.record(rec.SourceIP, rec.DownloadError == "" && rec.AltSource == "")
+						}
+						if rec.Malware != "" {
+							tl.malware++
+							ftMet.malware.Inc()
+						}
 					}
-					if (i+1)%500 == 0 {
-						s.progress("openft: %d/%d queries, %d records", i+1, total, len(tr.Records))
-					}
-				},
-			})
+					tr.Add(rec)
+				}
+				if (i+1)%500 == 0 {
+					s.progress("openft: %d/%d queries, %d records", i+1, total, len(tr.Records))
+				}
+			}
+			pl.submit(task)
 		})
 	}
 	s.scheduleProgress(clock, trace, "openft", &tl, pl.barrier)
@@ -365,14 +382,17 @@ func sortFTResults(results []openft.SearchResp) {
 }
 
 // fetchOpenFT fetches a result by MD5 from the sharing user and returns
-// its labelled verdict. Under an active fault plan a retryably-failed
+// its labelled verdict plus the trail of cache entries it touched (for
+// attempt-span emission). Under an active fault plan a retryably-failed
 // fetch falls back to alternate sources: other responders in the same
 // search's sorted result list advertising the same MD5, tried in result
 // order so the choice is deterministic.
-func (s *Study) fetchOpenFT(net_ *netsim.OpenFTNet, r openft.SearchResp, results []openft.SearchResp, cache *fetchCache, fx *netFaults) fetchResult {
-	res := s.fetchFTOnce(net_, r, cache, fx)
+func (s *Study) fetchOpenFT(net_ *netsim.OpenFTNet, r openft.SearchResp, results []openft.SearchResp, cache *fetchCache, fx *netFaults, scanNS *int64) (fetchResult, []*fetchEntry) {
+	e := s.fetchFTOnce(net_, r, cache, fx, scanNS)
+	trail := []*fetchEntry{e}
+	res := e.res
 	if fx == nil || res.err == nil || !openft.Retryable(res.err) {
-		return res
+		return res, trail
 	}
 	for _, a := range results {
 		if a.MD5 != r.MD5 {
@@ -381,33 +401,42 @@ func (s *Study) fetchOpenFT(net_ *netsim.OpenFTNet, r openft.SearchResp, results
 		if a.IP.Equal(r.IP) && a.Port == r.Port {
 			continue // the source that just failed
 		}
-		alt := s.fetchFTOnce(net_, a, cache, fx)
-		if alt.err == nil {
+		ae := s.fetchFTOnce(net_, a, cache, fx, scanNS)
+		trail = append(trail, ae)
+		if alt := ae.res; alt.err == nil {
 			alt.alt = fmt.Sprintf("%s:%d", a.IP, a.Port)
-			return alt
+			return alt, trail
 		}
 	}
-	return res
+	return res, trail
 }
 
 // fetchFTOnce fetches one result through the deduplicating cache,
-// singleflighted per (hash, host). In fault mode the closure dials
-// through the injector-wrapped transport with retry/backoff, after the
-// per-host circuit breaker agrees; fault decisions are PRF-keyed by
-// (plan seed, cache key, attempt), so the cached result is the same no
-// matter which worker fetches first.
-func (s *Study) fetchFTOnce(net_ *netsim.OpenFTNet, r openft.SearchResp, cache *fetchCache, fx *netFaults) fetchResult {
+// singleflighted per (hash, host), and returns its entry. In fault mode
+// the closure dials through the injector-wrapped transport with
+// retry/backoff, after the per-host circuit breaker agrees; fault
+// decisions are PRF-keyed by (plan seed, cache key, attempt), so the
+// cached result is the same no matter which worker fetches first. Every
+// path leaves a per-attempt log in the entry (the clean path as a single
+// attempt), fate-classified into stable tokens for span emission.
+func (s *Study) fetchFTOnce(net_ *netsim.OpenFTNet, r openft.SearchResp, cache *fetchCache, fx *netFaults, scanNS *int64) *fetchEntry {
 	key := "md5/" + r.MD5 + "@" + r.IP.String()
 	addr := fmt.Sprintf("%s:%d", r.IP, r.Port)
-	return cache.do(key, func() fetchResult {
+	return cache.do(key, addr, func() fetchResult {
 		if fx != nil {
 			if !fx.br.allowed(r.IP.String()) {
-				return fetchResult{err: errCircuitOpen}
+				return fetchResult{err: errCircuitOpen, attempts: []p2p.Attempt{{Fate: fateCircuitOpen}}}
 			}
-			body, err := openft.DownloadWithRetry(fx.inj.Transport(key), addr, r.MD5, fx.policy)
-			return s.labelFetch(body, err)
+			body, attempts, err := openft.DownloadAttempts(fx.inj.Transport(key), addr, r.MD5, fx.policy)
+			res := s.labelFetch(body, err, scanNS)
+			res.attempts = attempts
+			return res
 		}
+		start := wallClock.Now()
 		body, err := openft.Download(net_.Mem, addr, r.MD5)
-		return s.labelFetch(body, err)
+		wall := simclock.Since(wallClock, start)
+		res := s.labelFetch(body, err, scanNS)
+		res.attempts = []p2p.Attempt{{Fate: openft.Fate(err), Wall: wall}}
+		return res
 	})
 }

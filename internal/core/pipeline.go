@@ -7,6 +7,7 @@ import (
 
 	"p2pmalware/internal/dataset"
 	"p2pmalware/internal/faultsim"
+	"p2pmalware/internal/obs"
 	"p2pmalware/internal/p2p"
 	"p2pmalware/internal/scanner"
 	"p2pmalware/internal/simclock"
@@ -49,8 +50,37 @@ type pipeTask struct {
 	run func()
 	// commit executes stage 4 on the committer goroutine.
 	commit func()
+	// post runs on the committer right after the task's stage spans are
+	// emitted; network runners use it to emit per-attempt spans in commit
+	// order. Optional.
+	post func()
 	// ready closes when run has finished.
 	ready chan struct{}
+
+	// Span identity: the query's sequence number and virtual timestamp,
+	// plus the recorder stage spans go to (nil disables span emission).
+	seq   int64
+	at    time.Time
+	spans *obs.SpanRecorder
+
+	// Wall-clock stage stamps. Each is written by exactly one pipeline
+	// goroutine and read by the committer; the channel handoffs between
+	// stages order the accesses. Together they partition the query's
+	// end-to-end wall time exactly: every stage span is cut from this one
+	// set of stamps, so the children tile the root with no gap or overlap.
+	wSubmit       time.Time // submit()        (clock goroutine)
+	wCollectStart time.Time // collector picks the task up
+	wCollectEnd   time.Time // collect() returned
+	wRunStart     time.Time // a worker picks the task up
+	wRunEnd       time.Time // run() returned
+	wCommitStart  time.Time // committer reaches the task
+
+	// downloads and scanNS are filled by run(): how many downloadable
+	// records the query produced (deterministic — it gates the scan span)
+	// and the accumulated wall time this query's worker spent inside the
+	// scanner (wall-only data).
+	downloads int
+	scanNS    int64
 }
 
 // pipeline is the bounded worker pool plus in-order committer shared by
@@ -85,7 +115,12 @@ func newPipeline(workers int, met *netMetrics) *pipeline {
 	go func() {
 		defer close(p.work)
 		for t := range p.collect {
+			met.queueCollect.Dec()
+			t.wCollectStart = wallClock.Now()
+			met.stageCollectWait.ObserveDuration(t.wCollectStart.Sub(t.wSubmit))
 			t.collect()
+			t.wCollectEnd = wallClock.Now()
+			met.queueWork.Inc()
 			p.work <- t
 		}
 	}()
@@ -94,7 +129,14 @@ func newPipeline(workers int, met *netMetrics) *pipeline {
 		go func() {
 			defer p.workers.Done()
 			for t := range p.work {
+				met.queueWork.Dec()
+				t.wRunStart = wallClock.Now()
+				met.stageFetchWait.ObserveDuration(t.wRunStart.Sub(t.wCollectEnd))
+				met.workersBusy.Inc()
+				met.workerOcc.Observe(met.workersBusy.Value())
 				t.run()
+				t.wRunEnd = wallClock.Now()
+				met.workersBusy.Dec()
 				close(t.ready)
 			}
 		}()
@@ -105,7 +147,15 @@ func newPipeline(workers int, met *netMetrics) *pipeline {
 			waitStart := wallClock.Now()
 			<-t.ready
 			met.stageCommitWait.ObserveDuration(simclock.Since(wallClock, waitStart))
+			met.queueCommit.Dec()
+			t.wCommitStart = wallClock.Now()
+			met.stageCommitHold.ObserveDuration(t.wCommitStart.Sub(t.wRunEnd))
 			t.commit()
+			commitEnd := wallClock.Now()
+			emitQuerySpans(t, commitEnd)
+			if t.post != nil {
+				t.post()
+			}
 			met.inflight.Add(-1)
 			p.mu.Lock()
 			p.committed++
@@ -116,6 +166,33 @@ func newPipeline(workers int, met *netMetrics) *pipeline {
 	return p
 }
 
+// emitQuerySpans turns one committed task's wall stamps into its span
+// tree: a root query span plus children that partition it — collect
+// queue wait, collect (flood + settler), fetch queue wait, fetch service,
+// commit hold, commit — and a scan child under fetch when the query
+// downloaded anything. Runs on the committer goroutine in commit order,
+// which is what makes per-scope span emission order (and therefore the
+// serialized stream) deterministic at any worker count.
+func emitQuerySpans(t *pipeTask, commitEnd time.Time) {
+	r := t.spans
+	if r == nil {
+		return
+	}
+	scope := r.Scope()
+	rootID := obs.DeriveSpanID(scope, t.seq, obs.StageQuery, 0)
+	fetchID := obs.DeriveSpanID(scope, t.seq, obs.StageFetch, 0)
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageQuery, ID: rootID}, t.wSubmit, commitEnd)
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageCollectWait, Parent: rootID}, t.wSubmit, t.wCollectStart)
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageCollect, Parent: rootID}, t.wCollectStart, t.wCollectEnd)
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageFetchWait, Parent: rootID}, t.wCollectEnd, t.wRunStart)
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageFetch, ID: fetchID, Parent: rootID}, t.wRunStart, t.wRunEnd)
+	if t.downloads > 0 {
+		r.AddWallUS(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageScan, Parent: fetchID}, t.scanNS/1000)
+	}
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageCommitHold, Parent: rootID}, t.wRunEnd, t.wCommitStart)
+	r.AddWall(obs.Span{Time: t.at, Seq: t.seq, Stage: obs.StageCommit, Parent: rootID}, t.wCommitStart, commitEnd)
+}
+
 // submit enqueues one task. Must be called from the virtual-clock
 // goroutine only; submission order is commit order. Blocks when the
 // pipeline is at capacity, which throttles query issuance.
@@ -123,10 +200,13 @@ func newPipeline(workers int, met *netMetrics) *pipeline {
 // lint:hotpath
 func (p *pipeline) submit(t *pipeTask) {
 	t.ready = make(chan struct{})
+	t.wSubmit = wallClock.Now()
 	p.mu.Lock()
 	p.submitted++
 	p.mu.Unlock()
 	p.met.inflight.Inc()
+	p.met.queueCommit.Inc()
+	p.met.queueCollect.Inc()
 	p.commitq <- t
 	p.collect <- t
 }
@@ -346,16 +426,30 @@ type fetchResult struct {
 	// alt is the endpoint an alternate-source retry fetched from, when
 	// the advertised source failed but another responder had the content.
 	alt string
+	// attempts is the per-try log of the transfer that produced this
+	// result: fate token, deterministic backoff, measured wall duration.
+	// It lives in the cache entry, so every query sharing the entry sees
+	// the one real attempt history; span emission claims it exactly once,
+	// in commit order.
+	attempts []p2p.Attempt
 }
+
+// fateCircuitOpen is the stable attempt-fate token for breaker fast-fails.
+const fateCircuitOpen = "circuit_open"
 
 // labelFetch scans a fetched body once — the MD5 is shared between the
 // scan memo key and the record's content identity — and condenses it to a
-// fetchResult.
-func (s *Study) labelFetch(body []byte, err error) fetchResult {
+// fetchResult. scanNS, when non-nil, accumulates the wall time spent in
+// the scanner so the executing query's scan span can report it.
+func (s *Study) labelFetch(body []byte, err error, scanNS *int64) fetchResult {
 	if err != nil {
 		return fetchResult{err: err}
 	}
+	scanStart := wallClock.Now()
 	sum, ds := s.engine.ScanSum(body)
+	if scanNS != nil {
+		*scanNS += int64(simclock.Since(wallClock, scanStart))
+	}
 	res := fetchResult{hash: scanner.HexSum(sum), size: int64(len(body))}
 	if len(ds) > 0 {
 		res.family = ds[0].Family
@@ -389,28 +483,76 @@ type fetchCache struct {
 type fetchEntry struct {
 	ready chan struct{}
 	res   fetchResult
+	// src is the endpoint the entry fetched from, for attempt-span detail.
+	src string
+	// claimed marks the entry's attempt log as already emitted. Touched
+	// only by the committer goroutine (span emission runs in commit
+	// order), so the first query to commit a record using this entry —
+	// a deterministic choice — owns its attempt spans.
+	claimed bool
 }
 
 func newFetchCache() *fetchCache {
 	return &fetchCache{entries: make(map[string]*fetchEntry)}
 }
 
-// do returns the cached result for key, fetching and labelling it via
-// fetch+label on first use. Duplicate concurrent callers block until the
-// first finishes.
-func (c *fetchCache) do(key string, fetch func() fetchResult) fetchResult {
+// do returns the cache entry for key, fetching and labelling it via fetch
+// on first use; src annotates the entry with its source endpoint.
+// Duplicate concurrent callers block until the first finishes, then share
+// the entry (and its attempt log).
+func (c *fetchCache) do(key, src string, fetch func() fetchResult) *fetchEntry {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.ready
-		return e.res
+		return e
 	}
-	e := &fetchEntry{ready: make(chan struct{})}
+	e := &fetchEntry{ready: make(chan struct{}), src: src}
 	c.entries[key] = e
 	c.mu.Unlock()
 	e.res = fetch()
 	close(e.ready)
-	return e.res
+	return e
+}
+
+// emitAttemptSpans emits one span per transfer attempt a query's records
+// performed, as children of the query's fetch span. trails holds, per
+// committed record, the cache entries its fetch touched (advertised
+// source first, then alternates in try order). An entry shared with an
+// earlier-committed query was already claimed there and is skipped, so
+// every real attempt is reported exactly once and the claiming query is
+// deterministic (commit order). Attempt numbers count monotonically
+// across the query's whole trail; Retry restarts per entry, so an
+// alternate-source hop is visible as Retry resetting to 1 while Attempt
+// keeps climbing. Must run on the committer goroutine.
+func emitAttemptSpans(r *obs.SpanRecorder, seq int64, at time.Time, trails [][]*fetchEntry) {
+	if r == nil {
+		return
+	}
+	fetchID := obs.DeriveSpanID(r.Scope(), seq, obs.StageFetch, 0)
+	var k int32
+	for _, trail := range trails {
+		for _, e := range trail {
+			if e == nil || e.claimed {
+				continue
+			}
+			e.claimed = true
+			for ri, a := range e.res.attempts {
+				k++
+				r.AddWallUS(obs.Span{
+					Time:      at,
+					Seq:       seq,
+					Stage:     obs.StageAttempt,
+					Attempt:   k,
+					Retry:     int32(ri + 1),
+					Parent:    fetchID,
+					BackoffUS: a.Backoff.Microseconds(),
+					Fate:      a.Fate,
+					Detail:    e.src,
+				}, a.Wall.Microseconds())
+			}
+		}
+	}
 }
 
 // errBox carries the first fatal error across the pipeline's goroutines:

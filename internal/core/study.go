@@ -55,6 +55,13 @@ type StudyConfig struct {
 	// nondeterministic, and enabling it breaks byte-identical traces
 	// across same-seed runs.
 	TraceWallLatency bool
+	// SpanWallLatency annotates pipeline spans with measured wall
+	// durations (wall_us), turning the span stream into critical-path
+	// profiling data for cmd/p2pprof. Off by default for the same reason
+	// as TraceWallLatency: wall time is nondeterministic, and the
+	// deterministic span stream is what the golden gate diffs. Span
+	// identity, hierarchy, fates, and backoffs are unaffected either way.
+	SpanWallLatency bool
 	// Workers sizes each network's download/scan worker pool (default
 	// GOMAXPROCS). The trace is byte-identical for any worker count: the
 	// committer re-serializes results into issue order before any record
@@ -112,8 +119,9 @@ type Study struct {
 	// Progress, when set, receives coarse progress lines.
 	Progress func(format string, args ...any)
 
-	mu      sync.Mutex
-	tracers []*obs.Tracer // guarded by mu
+	mu       sync.Mutex
+	tracers  []*obs.Tracer       // guarded by mu
+	spanRecs []*obs.SpanRecorder // guarded by mu
 }
 
 // NewStudy validates the configuration and prepares the scanner ground
@@ -218,6 +226,43 @@ func (s *Study) Events() []obs.Event {
 // WriteEvents writes the merged event stream as JSONL.
 func (s *Study) WriteEvents(w io.Writer) error {
 	return obs.WriteEventsJSONL(w, s.Events())
+}
+
+// addSpans registers a per-network span recorder for later merging.
+func (s *Study) addSpans(r *obs.SpanRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spanRecs = append(s.spanRecs, r)
+}
+
+// newSpanRecorder builds a network's span recorder: virtual-time span
+// stamps come from the caller (the committer reuses each query's
+// scheduled instant), wall measurement uses the sanctioned wall clock and
+// is kept only when SpanWallLatency is set.
+func (s *Study) newSpanRecorder(scope string) *obs.SpanRecorder {
+	r := obs.NewSpanRecorder(scope, wallClock, s.cfg.SpanWallLatency)
+	s.addSpans(r)
+	return r
+}
+
+// Spans returns the merged span stream from every network measured so
+// far, ordered deterministically by (time, scope, emission order). With
+// SpanWallLatency off, two same-seed runs — at any worker count — produce
+// byte-identical streams under WriteSpans.
+func (s *Study) Spans() []obs.Span {
+	s.mu.Lock()
+	recs := append([]*obs.SpanRecorder(nil), s.spanRecs...)
+	s.mu.Unlock()
+	streams := make([][]obs.Span, len(recs))
+	for i, r := range recs {
+		streams[i] = r.Spans()
+	}
+	return obs.MergeSpans(streams...)
+}
+
+// WriteSpans writes the merged span stream as JSONL.
+func (s *Study) WriteSpans(w io.Writer) error {
+	return obs.WriteSpansJSONL(w, s.Spans())
 }
 
 // Engine returns the ground-truth scanner.

@@ -253,30 +253,68 @@ func downloadOnce(tr p2p.Transport, addr string, index uint32, name string, time
 	return httpGet(c, br, index, name)
 }
 
+// Fate classifies a gnutella transfer error into a stable fate token:
+// this package's sentinel outcomes first, then the shared transport
+// classification. Tokens — not error strings — are what span streams
+// carry, keeping the golden-gated bytes free of run-varying error text.
+func Fate(err error) string {
+	switch {
+	case err == nil:
+		return p2p.FateOK
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrFirewalled):
+		return "firewalled"
+	case errors.Is(err, ErrPushWait):
+		return "push_wait"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	default:
+		return p2p.FateOf(err)
+	}
+}
+
 // DownloadWithRetry fetches like Download but survives a hostile path:
 // each attempt runs under policy.AttemptTimeout, retryable failures back
 // off exponentially (capped, with deterministic per-key jitter — the
 // backoff runs on the wall clock and never touches trace time), and
 // terminal conditions (not found, firewalled) abort immediately.
 func DownloadWithRetry(tr p2p.Transport, addr string, index uint32, name string, policy p2p.RetryPolicy) ([]byte, error) {
+	body, _, err := DownloadAttempts(tr, addr, index, name, policy)
+	return body, err
+}
+
+// DownloadAttempts is DownloadWithRetry with an attempt log: one
+// p2p.Attempt per try, recording the fate token, the deterministic backoff
+// slept after it (zero on the final try), and the measured wall duration.
+// The study engine turns the log into per-attempt spans.
+func DownloadAttempts(tr p2p.Transport, addr string, index uint32, name string, policy p2p.RetryPolicy) ([]byte, []p2p.Attempt, error) {
 	policy = policy.WithDefaults()
 	key := fmt.Sprintf("%s/%d", addr, index)
+	attempts := make([]p2p.Attempt, 0, policy.Attempts)
 	var lastErr error
 	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		start := ioClock.Now()
 		body, err := downloadOnce(tr, addr, index, name, policy.AttemptTimeout)
+		wall := simclock.Since(ioClock, start)
 		if err == nil {
-			return body, nil
+			attempts = append(attempts, p2p.Attempt{Fate: p2p.FateOK, Wall: wall})
+			return body, attempts, nil
 		}
 		lastErr = err
 		if !Retryable(err) {
-			return nil, err
+			attempts = append(attempts, p2p.Attempt{Fate: Fate(err), Wall: wall})
+			return nil, attempts, err
 		}
+		var backoff time.Duration
 		if attempt < policy.Attempts {
 			met.retries.Inc()
-			simclock.Sleep(ioClock, policy.Delay(key, attempt))
+			backoff = policy.Delay(key, attempt)
+			simclock.Sleep(ioClock, backoff)
 		}
+		attempts = append(attempts, p2p.Attempt{Fate: Fate(err), Backoff: backoff, Wall: wall})
 	}
-	return nil, lastErr
+	return nil, attempts, lastErr
 }
 
 // httpGet issues the GET for a file on an established connection and reads

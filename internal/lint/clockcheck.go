@@ -34,7 +34,7 @@ var ClockCheck = &Analyzer{
 }
 
 func runClockCheck(pass *Pass) error {
-	if !clockScopeRe.MatchString(pass.Path) {
+	if !clockScoped(pass.Path) {
 		return nil
 	}
 	for _, file := range pass.Files {

@@ -207,6 +207,13 @@ func All() []*Analyzer {
 //	          cond.Wait) while a mutex is held.
 //	release — pooled buffers, connections, and files released on every
 //	          return path or handed off.
+//	span    — the package emits deterministic pipeline spans (builds
+//	          obs.Span values or records transfer attempts). Claiming
+//	          span implies clock discipline: clockcheck audits the
+//	          package even without a clock claim, because a raw wall
+//	          read feeding Span.Time would silently break the
+//	          byte-identical span golden. The span hot path itself is
+//	          covered by allocheck's `// lint:hotpath` annotations.
 //
 // Every package under internal/ must appear here and be claimed by at
 // least one scope (TestEveryInternalPackageClaimed enforces it). Purely
@@ -218,19 +225,19 @@ var scopeTable = []scopeRow{
 	{pkg: "analysis", lock: true, block: true, release: true},
 	{pkg: "archive", lock: true, block: true, release: true},
 	{pkg: "bufpool", lock: true, block: true, release: true},
-	{pkg: "core", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "core", clock: true, leak: true, deter: true, lock: true, block: true, release: true, span: true},
 	{pkg: "dataset", deter: true, lock: true, block: true, release: true},
 	{pkg: "deploy", lock: true, block: true, release: true},
 	{pkg: "faultsim", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
 	{pkg: "filter", deter: true, lock: true, block: true, release: true},
-	{pkg: "gnutella", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "gnutella", clock: true, leak: true, deter: true, lock: true, block: true, release: true, span: true},
 	{pkg: "guid", lock: true, block: true, release: true},
 	{pkg: "ipaddr", lock: true, block: true, release: true},
 	{pkg: "lint", lock: true, release: true},
 	{pkg: "malware", lock: true, block: true, release: true},
 	{pkg: "netsim", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
-	{pkg: "obs", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
-	{pkg: "openft", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
+	{pkg: "obs", clock: true, leak: true, deter: true, lock: true, block: true, release: true, span: true},
+	{pkg: "openft", clock: true, leak: true, deter: true, lock: true, block: true, release: true, span: true},
 	{pkg: "p2p", leak: true, deter: true, lock: true, block: true, release: true},
 	{pkg: "pe", lock: true, block: true, release: true},
 	{pkg: "scanner", deter: true, lock: true, block: true, release: true},
@@ -259,6 +266,7 @@ type scopeRow struct {
 	lock    bool
 	block   bool
 	release bool
+	span    bool
 }
 
 // The derived matchers. Keeping them package-level lets fixtures under
@@ -271,7 +279,16 @@ var (
 	lockScopeRe    = scopeRe(func(r scopeRow) bool { return r.lock })
 	blockScopeRe   = scopeRe(func(r scopeRow) bool { return r.block })
 	releaseScopeRe = scopeRe(func(r scopeRow) bool { return r.release })
+	spanScopeRe    = scopeRe(func(r scopeRow) bool { return r.span })
 )
+
+// clockScoped is clockcheck's package predicate: the clock column plus
+// every span-emitting package — span timestamps must come from the trace
+// clock, so claiming span pulls a package under clock discipline even if
+// its clock cell is ever dropped.
+func clockScoped(path string) bool {
+	return clockScopeRe.MatchString(path) || spanScopeRe.MatchString(path)
+}
 
 // allowKey addresses one suppressed (file, line, analyzer) cell.
 type allowKey struct {

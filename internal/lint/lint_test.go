@@ -131,7 +131,7 @@ func TestEveryInternalPackageClaimed(t *testing.T) {
 			t.Errorf("internal/%s has no scopeTable row: add one claiming at least one analyzer scope", d.Name())
 			continue
 		}
-		if !(row.clock || row.leak || row.deter || row.lock || row.block || row.release) {
+		if !(row.clock || row.leak || row.deter || row.lock || row.block || row.release || row.span) {
 			t.Errorf("scopeTable row for %q claims no analyzer scope", d.Name())
 		}
 	}
@@ -139,6 +139,33 @@ func TestEveryInternalPackageClaimed(t *testing.T) {
 		if !seen[pkg] {
 			t.Errorf("scopeTable row %q matches no directory under internal/", pkg)
 		}
+	}
+}
+
+// TestSpanScopeImpliesClockDiscipline pins the span column's contract:
+// every span-emitting package is audited by clockcheck through the
+// clockScoped union, whether or not its clock cell is set — a raw wall
+// read feeding Span.Time would break the span goldens.
+func TestSpanScopeImpliesClockDiscipline(t *testing.T) {
+	spanPkgs := 0
+	for _, row := range scopeTable {
+		if !row.span {
+			continue
+		}
+		spanPkgs++
+		path := "p2pmalware/internal/" + row.pkg + "/spans.go"
+		if !spanScopeRe.MatchString(path) {
+			t.Errorf("spanScopeRe does not match span-claimed package path %q", path)
+		}
+		if !clockScoped(path) {
+			t.Errorf("span-claimed package %q escapes clockcheck", row.pkg)
+		}
+	}
+	if spanPkgs < 4 {
+		t.Errorf("expected at least 4 span-claimed packages (obs, core, gnutella, openft), got %d", spanPkgs)
+	}
+	if clockScoped("p2pmalware/internal/pe/parse.go") {
+		t.Error("clockScoped matches a package with neither clock nor span claims")
 	}
 }
 

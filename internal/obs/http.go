@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Server exposes a registry over HTTP for live introspection of a running
 // study or daemon:
 //
-//	/metrics     Prometheus text exposition format
-//	/varz        expvar-style JSON (also served at /debug/vars)
+//	/metrics         Prometheus text exposition format
+//	/varz            expvar-style JSON (also served at /debug/vars)
+//	/debug/pprof/    runtime profiles (CPU, heap, goroutine, mutex, ...)
 //
 // The daemons (gnutellad, openftd) and p2pstudy start one behind a
 // -metrics-addr flag; ":0" binds an ephemeral port reported by Addr.
+// The pprof handlers are registered explicitly because the mux is private:
+// the net/http/pprof side effects on http.DefaultServeMux never apply here.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -35,6 +39,11 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	}
 	mux.HandleFunc("/varz", varz)
 	mux.HandleFunc("/debug/vars", varz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)

@@ -70,14 +70,36 @@ func (t *Tracer) Emit(name string, attrs ...Attr) {
 	t.EmitAt(t.clock.Now(), name, attrs...)
 }
 
+// reservedAttrKey reports whether k collides with one of the fixed event
+// fields AppendEvent emits first. An attribute reusing such a key would
+// produce a JSON object with a duplicate member whose winning value
+// depends on the consumer, so Emit rejects it outright.
+func reservedAttrKey(k string) bool {
+	switch k {
+	case "t", "scope", "seq", "event":
+		return true
+	}
+	return false
+}
+
 // EmitAt records one event at an explicit trace timestamp. The pipelined
 // study committer uses it to stamp deferred events with the originating
 // query's virtual time after the clock has already advanced. Seq still
 // reflects emission order within the tracer, so callers that need a
 // deterministic stream must emit in the intended stream order.
+//
+// Attribute keys colliding with the reserved event fields ("t", "scope",
+// "seq", "event") panic: like Registry label misuse, a reserved-key
+// collision is a programming error at the instrumentation site, and the
+// JSONL stream must stay unambiguous.
 func (t *Tracer) EmitAt(at time.Time, name string, attrs ...Attr) {
 	if t == nil {
 		return
+	}
+	for _, a := range attrs {
+		if reservedAttrKey(a.Key) {
+			panic(fmt.Sprintf("obs: event %q uses reserved attribute key %q", name, a.Key))
+		}
 	}
 	t.mu.Lock()
 	t.seq++

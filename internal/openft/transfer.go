@@ -124,29 +124,63 @@ func Download(tr p2p.Transport, addr, md5sum string) ([]byte, error) {
 	return downloadTimed(tr, addr, md5sum, 30*time.Second)
 }
 
+// Fate classifies an OpenFT transfer error into a stable fate token:
+// this package's sentinel outcomes first, then the shared transport
+// classification. Tokens — not error strings — are what span streams
+// carry, keeping the golden-gated bytes free of run-varying error text.
+func Fate(err error) string {
+	switch {
+	case err == nil:
+		return p2p.FateOK
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	default:
+		return p2p.FateOf(err)
+	}
+}
+
 // DownloadWithRetry fetches like Download but survives a hostile path:
 // per-attempt timeouts, capped exponential backoff with deterministic
 // per-key jitter between retryable failures (wall clock only, never trace
 // time), and immediate abort on terminal conditions.
 func DownloadWithRetry(tr p2p.Transport, addr, md5sum string, policy p2p.RetryPolicy) ([]byte, error) {
+	body, _, err := DownloadAttempts(tr, addr, md5sum, policy)
+	return body, err
+}
+
+// DownloadAttempts is DownloadWithRetry with an attempt log: one
+// p2p.Attempt per try, recording the fate token, the deterministic backoff
+// slept after it (zero on the final try), and the measured wall duration.
+// The study engine turns the log into per-attempt spans.
+func DownloadAttempts(tr p2p.Transport, addr, md5sum string, policy p2p.RetryPolicy) ([]byte, []p2p.Attempt, error) {
 	policy = policy.WithDefaults()
 	key := addr + "/" + md5sum
+	attempts := make([]p2p.Attempt, 0, policy.Attempts)
 	var lastErr error
 	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		start := ioClock.Now()
 		body, err := downloadTimed(tr, addr, md5sum, policy.AttemptTimeout)
+		wall := simclock.Since(ioClock, start)
 		if err == nil {
-			return body, nil
+			attempts = append(attempts, p2p.Attempt{Fate: p2p.FateOK, Wall: wall})
+			return body, attempts, nil
 		}
 		lastErr = err
 		if !Retryable(err) {
-			return nil, err
+			attempts = append(attempts, p2p.Attempt{Fate: Fate(err), Wall: wall})
+			return nil, attempts, err
 		}
+		var backoff time.Duration
 		if attempt < policy.Attempts {
 			met.retries.Inc()
-			simclock.Sleep(ioClock, policy.Delay(key, attempt))
+			backoff = policy.Delay(key, attempt)
+			simclock.Sleep(ioClock, backoff)
 		}
+		attempts = append(attempts, p2p.Attempt{Fate: Fate(err), Backoff: backoff, Wall: wall})
 	}
-	return nil, lastErr
+	return nil, attempts, lastErr
 }
 
 func downloadTimed(tr p2p.Transport, addr, md5sum string, timeout time.Duration) ([]byte, error) {

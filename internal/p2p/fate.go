@@ -1,0 +1,61 @@
+package p2p
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"time"
+)
+
+// Attempt fates: stable tokens naming how one transfer attempt ended.
+// Span streams are golden-gated byte for byte, so attempt outcomes must
+// serialize as closed-vocabulary tokens — raw error strings carry
+// addresses, deadlines and wrapping that vary run to run.
+const (
+	FateOK      = "ok"
+	FateRefused = "refused"
+	FateReset   = "reset"
+	FateTimeout = "timeout"
+	FateError   = "error"
+)
+
+// Attempt is the deterministic record of one transfer attempt inside a
+// retry loop: its fate token, the (PRF-drawn, reproducible) backoff slept
+// after it, and the measured wall duration — the only nondeterministic
+// field, kept separate so span emission can drop it in deterministic mode.
+type Attempt struct {
+	Fate    string
+	Backoff time.Duration
+	Wall    time.Duration
+}
+
+// FateOf classifies a transfer error into a stable fate token. It covers
+// the transport-level outcomes every network shares (refusal, reset,
+// timeout); protocol packages wrap it to map their own sentinel errors
+// first. Classification is by error identity where one exists and by
+// substring for the refusal/reset families, whose members (syscall errors,
+// the in-memory fabric's *net.OpError, faultsim's injected errors) share
+// wording but not identity.
+func FateOf(err error) string {
+	if err == nil {
+		return FateOK
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return FateTimeout
+	}
+	var ne interface{ Timeout() bool }
+	if errors.As(err, &ne) && ne.Timeout() {
+		return FateTimeout
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "connection refused"):
+		return FateRefused
+	case strings.Contains(msg, "connection reset"):
+		return FateReset
+	case strings.Contains(msg, "timeout"), strings.Contains(msg, "deadline"):
+		return FateTimeout
+	default:
+		return FateError
+	}
+}

@@ -1,0 +1,35 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+)
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "i/o window elapsed" }
+func (timeoutErr) Timeout() bool { return true }
+
+func TestFateOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, FateOK},
+		{os.ErrDeadlineExceeded, FateTimeout},
+		{fmt.Errorf("wrapping: %w", os.ErrDeadlineExceeded), FateTimeout},
+		{timeoutErr{}, FateTimeout},
+		{&net.OpError{Op: "dial", Net: "mem", Err: errors.New("connection refused: 10.0.0.1:6346")}, FateRefused},
+		{errors.New("read: connection reset by peer"), FateReset},
+		{errors.New("gnutella: download status: read deadline exceeded"), FateTimeout},
+		{errors.New("something else entirely"), FateError},
+	}
+	for _, c := range cases {
+		if got := FateOf(c.err); got != c.want {
+			t.Errorf("FateOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
