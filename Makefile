@@ -24,6 +24,7 @@ lint:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParsePong -fuzztime=10s ./internal/gnutella
 	go test -run='^$$' -fuzz=FuzzReadPacket -fuzztime=10s ./internal/openft
+	go test -run='^$$' -fuzz=FuzzAppendJSONString -fuzztime=10s ./internal/obs
 	go test -run='^$$' -fuzz=FuzzPEParse -fuzztime=10s ./internal/pe
 	go test -run='^$$' -fuzz=FuzzDownloadResponse -fuzztime=10s ./internal/gnutella
 	go test -run='^$$' -fuzz=FuzzDownloadResponse -fuzztime=10s ./internal/openft
@@ -42,17 +43,18 @@ golden:
 # Benchmarks: the obs/archive/scanner hot paths run 6 times each so the
 # output feeds benchstat; the table/figure pipeline and study-engine
 # benchmarks are heavyweight (each iteration runs a scaled-down study)
-# and run once. benchjson folds everything into BENCH_5.json (mean across
+# and run once. benchjson folds everything into BENCH_6.json (mean across
 # runs), which CI uploads as an artifact. Non-gating in CI.
 bench:
 	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive ./internal/scanner | tee bench.out
 	go test -run='^$$' -bench=. -benchmem -count=1 . | tee -a bench.out
-	go run ./cmd/benchjson -o BENCH_5.json < bench.out >/dev/null
+	go run ./cmd/benchjson -o BENCH_6.json < bench.out >/dev/null
 	rm -f bench.out
 
 # Bench-regression gate: diff the two newest committed BENCH_<n>.json
-# artifacts and fail on a >15% ns/op regression in the headline (hotpath)
-# benchmarks. CI runs this as its own job.
+# artifacts and fail on a >15% ns/op or allocs/op regression in the
+# headline (hotpath) benchmarks; headline benchmarks at zero allocs/op
+# must stay at zero. CI runs this as its own job.
 bench-diff:
 	go run ./cmd/benchdiff
 

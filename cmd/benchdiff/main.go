@@ -11,11 +11,19 @@
 //
 // With no positional arguments the command discovers BENCH_<n>.json files
 // in the working directory and compares the two highest n. Only the named
-// headline benchmarks gate (ns/op, compared against the threshold
-// percentage); every benchmark present in both files is reported so drift
-// outside the gate stays visible. A headline benchmark missing from
-// either file is a warning, not a failure: stages add and retire
-// benchmarks, and the gate must not block the stage that introduces one.
+// headline benchmarks gate; every benchmark present in both files is
+// reported so drift outside the gate stays visible. Two properties gate:
+//
+//   - ns/op, compared against the threshold percentage; and
+//   - allocs/op, also against the threshold — except that a headline
+//     benchmark whose old summary shows zero allocs/op must stay at zero:
+//     the first heap allocation on a proven zero-alloc hot path is a
+//     regression no matter how cheap, because it voids the AllocsPerRun
+//     guarantees the trace and wire layers advertise.
+//
+// A headline benchmark missing from either file is a warning, not a
+// failure: stages add and retire benchmarks, and the gate must not block
+// the stage that introduces one.
 package main
 
 import (
@@ -44,24 +52,38 @@ type Summary struct {
 // defaultHeadline names the benchmarks that gate merges: the scanner hot
 // loop, the clean-payload throughput floor, the end-to-end study engine,
 // and the zero-allocation telemetry primitives every simulation tick goes
-// through. These are the `// lint:hotpath` surfaces; deliberately-
-// allocating paths (event construction, trace serialization) drift with
-// their feature set and are reported but not gated.
-const defaultHeadline = "BenchmarkScanMultiSigEngine,BenchmarkScanCleanMB,BenchmarkStudyPipeline,BenchmarkCounterInc,BenchmarkHistogramObserve"
+// through — including the trace encoder and tracer emit paths, which are
+// pinned at zero allocs/op. These are the `// lint:hotpath` surfaces.
+const defaultHeadline = "BenchmarkScanMultiSigEngine,BenchmarkScanCleanMB,BenchmarkStudyPipeline,BenchmarkCounterInc,BenchmarkHistogramObserve,BenchmarkAppendEvent,BenchmarkTracerEmit"
 
 // delta is one benchmark's old-to-new comparison.
 type delta struct {
-	name     string
-	oldNs    float64
-	newNs    float64
-	pct      float64 // (new-old)/old * 100
-	headline bool
+	name      string
+	oldNs     float64
+	newNs     float64
+	pct       float64 // (new-old)/old * 100
+	oldAllocs float64
+	newAllocs float64
+	headline  bool
 }
 
-// regression reports whether the delta trips the gate at the given
+// regression reports whether the delta trips the ns/op gate at the given
 // threshold percentage.
 func (d delta) regression(threshold float64) bool {
 	return d.headline && d.pct > threshold
+}
+
+// allocRegression reports whether the delta trips the allocs/op gate. A
+// benchmark previously at zero allocs/op must stay there; one that
+// allocated may grow by at most the threshold percentage.
+func (d delta) allocRegression(threshold float64) bool {
+	if !d.headline {
+		return false
+	}
+	if d.oldAllocs == 0 {
+		return d.newAllocs > 0
+	}
+	return (d.newAllocs-d.oldAllocs)/d.oldAllocs*100 > threshold
 }
 
 // compare diffs the shared benchmarks of two summaries. Headline names
@@ -81,11 +103,13 @@ func compare(old, new map[string]Summary, headline map[string]bool) (deltas []de
 			continue
 		}
 		deltas = append(deltas, delta{
-			name:     name,
-			oldNs:    o.NsPerOp,
-			newNs:    n.NsPerOp,
-			pct:      (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100,
-			headline: headline[name],
+			name:      name,
+			oldNs:     o.NsPerOp,
+			newNs:     n.NsPerOp,
+			pct:       (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100,
+			oldAllocs: o.AllocsPerOp,
+			newAllocs: n.AllocsPerOp,
+			headline:  headline[name],
 		})
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].pct > deltas[j].pct })
@@ -190,7 +214,7 @@ func main() {
 	}
 
 	deltas, missing := compare(oldSum, newSum, headline)
-	fmt.Printf("benchdiff %s -> %s (gate: headline ns/op +%.0f%%)\n", oldPath, newPath, *threshold)
+	fmt.Printf("benchdiff %s -> %s (gate: headline ns/op +%.0f%%, allocs/op +%.0f%% and zero-stays-zero)\n", oldPath, newPath, *threshold, *threshold)
 	failed := 0
 	for _, d := range deltas {
 		mark := " "
@@ -202,14 +226,18 @@ func main() {
 			status = "  REGRESSION"
 			failed++
 		}
-		fmt.Printf("%s %-40s %14.1f -> %14.1f ns/op  %+7.1f%%%s\n",
-			mark, d.name, d.oldNs, d.newNs, d.pct, status)
+		if d.allocRegression(*threshold) {
+			status += "  ALLOC-REGRESSION"
+			failed++
+		}
+		fmt.Printf("%s %-40s %14.1f -> %14.1f ns/op  %+7.1f%%  %10.0f -> %-10.0f allocs/op%s\n",
+			mark, d.name, d.oldNs, d.newNs, d.pct, d.oldAllocs, d.newAllocs, status)
 	}
 	for _, name := range missing {
 		fmt.Printf("! %-40s missing from old or new summary; not gated\n", name)
 	}
 	if failed > 0 {
-		log.Fatalf("%d headline benchmark(s) regressed beyond %.0f%%", failed, *threshold)
+		log.Fatalf("%d headline gate(s) tripped (threshold %.0f%%)", failed, *threshold)
 	}
 	fmt.Println("benchdiff: headline benchmarks within threshold")
 }

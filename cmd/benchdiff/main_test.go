@@ -67,6 +67,69 @@ func TestCompareMissingHeadlineIsReportedNotGated(t *testing.T) {
 	}
 }
 
+func TestAllocGateZeroMustStayZero(t *testing.T) {
+	old := map[string]Summary{"BenchmarkTracerEmit": {NsPerOp: 100, AllocsPerOp: 0}}
+	new := map[string]Summary{"BenchmarkTracerEmit": {NsPerOp: 100, AllocsPerOp: 1}}
+	deltas, _ := compare(old, new, map[string]bool{"BenchmarkTracerEmit": true})
+	tripped := false
+	for _, d := range deltas {
+		if d.allocRegression(15) {
+			tripped = true
+		}
+		if d.regression(15) {
+			t.Fatalf("ns/op gate tripped on a pure alloc regression: %+v", d)
+		}
+	}
+	if !tripped {
+		t.Fatal("0 -> 1 allocs/op on a headline benchmark did not trip the alloc gate")
+	}
+}
+
+func TestAllocGateThresholdOnNonZeroBaseline(t *testing.T) {
+	old := map[string]Summary{"BenchmarkStudyPipeline": {NsPerOp: 100, AllocsPerOp: 1000}}
+	within := map[string]Summary{"BenchmarkStudyPipeline": {NsPerOp: 100, AllocsPerOp: 1100}} // +10%
+	beyond := map[string]Summary{"BenchmarkStudyPipeline": {NsPerOp: 100, AllocsPerOp: 1300}} // +30%
+	headline := map[string]bool{"BenchmarkStudyPipeline": true}
+	deltas, _ := compare(old, within, headline)
+	for _, d := range deltas {
+		if d.allocRegression(15) {
+			t.Fatalf("+10%% allocs tripped the 15%% gate: %+v", d)
+		}
+	}
+	deltas, _ = compare(old, beyond, headline)
+	tripped := false
+	for _, d := range deltas {
+		if d.allocRegression(15) {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("+30% allocs did not trip the 15% gate")
+	}
+}
+
+func TestAllocGateIgnoresNonHeadline(t *testing.T) {
+	old := map[string]Summary{"BenchmarkCold": {NsPerOp: 100, AllocsPerOp: 0}}
+	new := map[string]Summary{"BenchmarkCold": {NsPerOp: 100, AllocsPerOp: 50}}
+	deltas, _ := compare(old, new, map[string]bool{"BenchmarkHot": true})
+	for _, d := range deltas {
+		if d.allocRegression(15) {
+			t.Fatalf("non-headline benchmark tripped the alloc gate: %+v", d)
+		}
+	}
+}
+
+func TestAllocGateImprovementNeverFails(t *testing.T) {
+	old := map[string]Summary{"BenchmarkHot": {NsPerOp: 100, AllocsPerOp: 14}}
+	new := map[string]Summary{"BenchmarkHot": {NsPerOp: 100, AllocsPerOp: 0}}
+	deltas, _ := compare(old, new, map[string]bool{"BenchmarkHot": true})
+	for _, d := range deltas {
+		if d.allocRegression(15) {
+			t.Fatalf("14 -> 0 allocs flagged as regression: %+v", d)
+		}
+	}
+}
+
 func TestDiscoverPicksTwoNewest(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2.json", "BENCH_4.json", "BENCH_10.json", "BENCH.json", "notes.txt"} {

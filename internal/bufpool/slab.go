@@ -1,0 +1,76 @@
+package bufpool
+
+import (
+	"sync"
+
+	"p2pmalware/internal/obs"
+)
+
+// Payload slabs back the pooled wire descriptors (gnutella.Message,
+// openft.Packet): the reader draws a slab sized for the advertised payload,
+// the descriptor owns it for its refcounted lifetime, and the final Release
+// returns it here. Four size classes cover the protocol limits — gnutella
+// caps payloads at 64 KiB and OpenFT at 32 KiB — while the small classes
+// keep query/pong traffic from pinning 64 KiB each.
+//
+// The pools store *[N]byte pointers, not []byte headers: a slice stored in
+// an interface allocates its header on every Put, which would put an
+// allocation back on the very path the slabs exist to clear.
+
+const (
+	slabSmall  = 128
+	slabMedium = 1 << 10
+	slabLarge  = 8 << 10
+	slabMax    = 64 << 10
+)
+
+var (
+	slabNew = obs.C("p2p_bufpool_new_total", "kind", "slab")
+
+	slabSmallPool  = sync.Pool{New: func() any { slabNew.Inc(); return new([slabSmall]byte) }}
+	slabMediumPool = sync.Pool{New: func() any { slabNew.Inc(); return new([slabMedium]byte) }}
+	slabLargePool  = sync.Pool{New: func() any { slabNew.Inc(); return new([slabLarge]byte) }}
+	slabMaxPool    = sync.Pool{New: func() any { slabNew.Inc(); return new([slabMax]byte) }}
+)
+
+// GetSlab returns a byte slice of length n drawn from the smallest pooled
+// size class that fits. Requests beyond the largest class fall back to a
+// plain allocation, which PutSlab later discards. The returned slice is
+// uninitialized — callers overwrite it before reading.
+//
+// lint:hotpath
+func GetSlab(n int) []byte {
+	switch {
+	case n <= slabSmall:
+		return slabSmallPool.Get().(*[slabSmall]byte)[:n]
+	case n <= slabMedium:
+		return slabMediumPool.Get().(*[slabMedium]byte)[:n]
+	case n <= slabLarge:
+		return slabLargePool.Get().(*[slabLarge]byte)[:n]
+	case n <= slabMax:
+		return slabMaxPool.Get().(*[slabMax]byte)[:n]
+	default:
+		return make([]byte, n)
+	}
+}
+
+// PutSlab recycles a slab obtained from GetSlab. The caller must not touch
+// the slice afterwards. Slices whose capacity is not an exact class size —
+// oversized fallbacks, or slabs regrown by append — are dropped for the
+// garbage collector instead; recycling through PutSlab is an optimization,
+// never a correctness requirement.
+//
+// lint:hotpath
+func PutSlab(b []byte) {
+	b = b[:cap(b)]
+	switch cap(b) {
+	case slabSmall:
+		slabSmallPool.Put((*[slabSmall]byte)(b))
+	case slabMedium:
+		slabMediumPool.Put((*[slabMedium]byte)(b))
+	case slabLarge:
+		slabLargePool.Put((*[slabLarge]byte)(b))
+	case slabMax:
+		slabMaxPool.Put((*[slabMax]byte)(b))
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p2pmalware/internal/obs"
+)
+
+// TestGoldenCorpusEscaperMatchesJSONMarshal holds the manual JSON string
+// escaper byte-identical to encoding/json over every string that actually
+// occurs in the committed golden traces — keys and values, at any nesting
+// depth. The golden byte-for-byte gates above prove the whole pipeline;
+// this one isolates the escaper so a divergence points straight at it
+// instead of at a simulation change.
+func TestGoldenCorpusEscaperMatchesJSONMarshal(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.jsonl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden corpus found: %v", err)
+	}
+	checked := 0
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var record map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &record); err != nil {
+				t.Fatalf("%s: corrupt golden line: %v", file, err)
+			}
+			checked += checkEscaperOn(t, record)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		f.Close()
+	}
+	if checked == 0 {
+		t.Fatal("golden corpus contained no strings — gate is vacuous")
+	}
+	t.Logf("escaper matched json.Marshal on %d corpus strings", checked)
+}
+
+// checkEscaperOn walks a decoded JSON value and compares the escaper to
+// json.Marshal on every string it finds, returning how many it checked.
+func checkEscaperOn(t *testing.T, v any) int {
+	t.Helper()
+	n := 0
+	switch x := v.(type) {
+	case string:
+		want, err := json.Marshal(x)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", x, err)
+		}
+		if got := obs.AppendJSONString(nil, x); string(got) != string(want) {
+			t.Fatalf("escaper diverges from json.Marshal on corpus string %q:\n got %s\nwant %s", x, got, want)
+		}
+		n = 1
+	case map[string]any:
+		for k, val := range x {
+			n += checkEscaperOn(t, k)
+			n += checkEscaperOn(t, val)
+		}
+	case []any:
+		for _, val := range x {
+			n += checkEscaperOn(t, val)
+		}
+	}
+	return n
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -194,11 +195,14 @@ func infoFromHeaders(h map[string]string) *HandshakeInfo {
 		Headers:   h,
 	}
 	if la := h["listen-ip"]; la != "" {
+		// A malformed Listen-IP header (hostile or buggy peer) must not
+		// poison the endpoint: both parts validate independently, and a
+		// port outside 1..65535 — or any non-numeric junk, which the old
+		// fmt.Sscanf parse silently mapped to 0 or a partial prefix — is
+		// rejected outright.
 		if host, port, err := net.SplitHostPort(la); err == nil {
 			info.ListenIP = net.ParseIP(host)
-			var p int
-			fmt.Sscanf(port, "%d", &p)
-			if p > 0 && p <= 65535 {
+			if p, err := strconv.Atoi(port); err == nil && p > 0 && p <= 65535 {
 				info.ListenPort = uint16(p)
 			}
 		}
@@ -213,6 +217,11 @@ type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	// rhdr and whdr are reader-/writer-owned header scratch space: io
+	// calls take them through interfaces, and a per-call stack array would
+	// escape into a fresh heap allocation per descriptor.
+	rhdr [HeaderSize]byte
+	whdr [HeaderSize]byte
 }
 
 // NewConn wraps an established connection with a fresh buffered reader.
@@ -228,47 +237,63 @@ func NewConnFrom(c net.Conn, br *bufio.Reader) *Conn {
 	return &Conn{c: c, br: br, bw: bufio.NewWriterSize(c, 32<<10)}
 }
 
+// errPayloadSize lives off the hot path so Read/WriteBuffered stay free of
+// fmt boxing under the hotpath allocation contract.
+func errPayloadSize(n int) error {
+	return fmt.Errorf("%w: %d bytes", ErrPayloadSize, n)
+}
+
 // Read returns the next descriptor. It enforces MaxPayload and clamps TTL.
+//
+// The returned message is pool-managed: its payload lives in a bufpool
+// slab and the caller holds the one reference. The node's read loop
+// releases it after dispatch, so anything that must outlive the handler —
+// a forward target, a collector — either takes its own reference (Retain)
+// or copies what it needs; the parsed forms (ParseQuery, ParseQueryHit,
+// ...) already copy every string out of the payload. Conn itself never
+// retains or releases references. Read is not safe for concurrent use
+// (one reader goroutine per connection, as runPeer guarantees).
+//
+// lint:hotpath
 func (fc *Conn) Read() (*Message, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(fc.br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fc.br, fc.rhdr[:]); err != nil {
 		return nil, err
 	}
-	g, _ := guid.FromBytes(hdr[0:16])
-	m := &Message{
-		GUID: g,
-		Type: MsgType(hdr[16]),
-		TTL:  hdr[17],
-		Hops: hdr[18],
-	}
-	plen := binary.LittleEndian.Uint32(hdr[19:])
+	g, _ := guid.FromBytes(fc.rhdr[0:16])
+	plen := binary.LittleEndian.Uint32(fc.rhdr[19:])
 	if plen > MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadSize, plen)
+		return nil, errPayloadSize(int(plen))
 	}
+	m := NewMessage(g, MsgType(fc.rhdr[16]), fc.rhdr[17], fc.rhdr[18], int(plen))
 	if m.TTL > MaxTTL {
 		m.TTL = MaxTTL
 	}
 	if plen > 0 {
-		m.Payload = make([]byte, plen)
+		m.Payload = m.slab[:plen]
 		if _, err := io.ReadFull(fc.br, m.Payload); err != nil {
+			m.Release()
 			return nil, err
 		}
 	}
 	return m, nil
 }
 
-// Write sends a descriptor and flushes.
-func (fc *Conn) Write(m *Message) error {
+// WriteBuffered stages a descriptor in the connection's write buffer
+// without flushing, so a burst of outbound descriptors coalesces into one
+// wire write. Callers must pair it with Flush; reference accounting stays
+// with the caller.
+//
+// lint:hotpath
+func (fc *Conn) WriteBuffered(m *Message) error {
 	if len(m.Payload) > MaxPayload {
-		return fmt.Errorf("%w: %d bytes", ErrPayloadSize, len(m.Payload))
+		return errPayloadSize(len(m.Payload))
 	}
-	var hdr [HeaderSize]byte
-	copy(hdr[0:16], m.GUID[:])
-	hdr[16] = byte(m.Type)
-	hdr[17] = m.TTL
-	hdr[18] = m.Hops
-	binary.LittleEndian.PutUint32(hdr[19:], uint32(len(m.Payload)))
-	if _, err := fc.bw.Write(hdr[:]); err != nil {
+	copy(fc.whdr[0:16], m.GUID[:])
+	fc.whdr[16] = byte(m.Type)
+	fc.whdr[17] = m.TTL
+	fc.whdr[18] = m.Hops
+	binary.LittleEndian.PutUint32(fc.whdr[19:], uint32(len(m.Payload)))
+	if _, err := fc.bw.Write(fc.whdr[:]); err != nil {
 		return err
 	}
 	if len(m.Payload) > 0 {
@@ -276,7 +301,18 @@ func (fc *Conn) Write(m *Message) error {
 			return err
 		}
 	}
-	return fc.bw.Flush()
+	return nil
+}
+
+// Flush pushes buffered descriptors onto the wire.
+func (fc *Conn) Flush() error { return fc.bw.Flush() }
+
+// Write sends a descriptor and flushes.
+func (fc *Conn) Write(m *Message) error {
+	if err := fc.WriteBuffered(m); err != nil {
+		return err
+	}
+	return fc.Flush()
 }
 
 // Close closes the underlying connection.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -131,13 +132,28 @@ func newPeerConn(n *Node, fc *Conn, info *HandshakeInfo, isLeaf bool) *peerConn 
 	}
 }
 
+// errPeerClosed and errSendQueueFull are preallocated so the send fast
+// path does not build error values per descriptor.
+var (
+	errPeerClosed    = errors.New("gnutella: peer closed")
+	errSendQueueFull = errors.New("gnutella: send queue full, descriptor dropped")
+)
+
 // send enqueues a descriptor for the writer goroutine; it never blocks on
 // the network. A full queue drops the descriptor (flooded descriptors are
 // best-effort), and a closed peer reports an error.
+//
+// send consumes one reference in every outcome: the writer releases it
+// after the wire write, and the drop/closed paths release it here. Callers
+// sending one managed message to several peers retain once per extra
+// target. (Unmanaged messages are unaffected; Release is a no-op.)
+//
+// lint:hotpath
 func (pc *peerConn) send(m *Message) error {
 	select {
 	case <-pc.done:
-		return errors.New("gnutella: peer closed")
+		m.Release()
+		return errPeerClosed
 	default:
 	}
 	select {
@@ -145,22 +161,44 @@ func (pc *peerConn) send(m *Message) error {
 		return nil
 	default:
 		met.drop[byte(m.Type)].Inc()
-		return errors.New("gnutella: send queue full, descriptor dropped")
+		m.Release()
+		return errSendQueueFull
 	}
 }
 
-// writeLoop drains the outbound queue onto the wire.
+// writeLoop drains the outbound queue onto the wire. Descriptors are
+// staged into the connection's write buffer and flushed once per burst —
+// the loop only flushes when the queue goes momentarily empty — so a
+// flooded query fan-out or a pong-cache harvest costs one syscall, not
+// one per descriptor. Messages still queued at shutdown are reclaimed by
+// the garbage collector; their refcounts die with them.
 func (pc *peerConn) writeLoop() {
 	for {
 		select {
 		case <-pc.done:
 			return
 		case m := <-pc.out:
-			if err := pc.fc.Write(m); err != nil {
+			for {
+				err := pc.fc.WriteBuffered(m)
+				if err == nil {
+					met.tx[byte(m.Type)].Inc()
+				}
+				m.Release()
+				if err != nil {
+					pc.shutdown()
+					return
+				}
+				select {
+				case m = <-pc.out:
+					continue
+				default:
+				}
+				break
+			}
+			if err := pc.fc.Flush(); err != nil {
 				pc.shutdown()
 				return
 			}
-			met.tx[byte(m.Type)].Inc()
 		}
 	}
 }
@@ -465,10 +503,17 @@ func (n *Node) runPeer(pc *peerConn) {
 			return
 		}
 		met.rx[byte(m.Type)].Inc()
-		if err := n.handle(pc, m); err != nil {
+		// The read loop owns the descriptor's original reference; handlers
+		// that forward it retain once per target. Releasing here is what
+		// lets the next Read reuse the slab, so any handler code holding
+		// payload bytes past this point must have retained or copied.
+		err = n.handle(pc, m)
+		if err != nil {
 			n.logf("handle %s from %s: %v", m.Type, pc.fc.RemoteAddr(), err)
+			m.Release()
 			return
 		}
+		m.Release()
 	}
 }
 
@@ -498,13 +543,20 @@ func (n *Node) handle(pc *peerConn, m *Message) error {
 	}
 }
 
+// sendPong builds a pooled pong reply directly in its slab and queues it;
+// the send consumes the reply's only reference.
+func (n *Node) sendPong(pc *peerConn, g guid.GUID, ttl, hops byte, p Pong) error {
+	reply := NewMessage(g, MsgPong, ttl, hops, pongSize)
+	reply.Payload = p.AppendTo(reply.Payload)
+	return pc.send(reply)
+}
+
 func (n *Node) handlePing(pc *peerConn, m *Message) error {
 	lib := n.cfg.Library
 	var kb uint32
 	files := uint32(lib.Len())
 	pong := Pong{Port: n.cfg.AdvertisePort, IP: n.cfg.AdvertiseIP, Files: files, KB: kb}
-	reply := &Message{GUID: m.GUID, Type: MsgPong, TTL: m.Hops + 1, Hops: 0, Payload: pong.Encode()}
-	if err := pc.send(reply); err != nil {
+	if err := n.sendPong(pc, m.GUID, m.Hops+1, 0, pong); err != nil {
 		return err
 	}
 	// Pong caching (LimeWire-style): a multi-hop ping also harvests our
@@ -519,8 +571,7 @@ func (n *Node) handlePing(pc *peerConn, m *Message) error {
 					continue
 				}
 				p := Pong{Port: other.info.ListenPort, IP: other.info.ListenIP}
-				msg := &Message{GUID: m.GUID, Type: MsgPong, TTL: m.Hops + 1, Hops: 1, Payload: p.Encode()}
-				if err := pc.send(msg); err != nil {
+				if err := n.sendPong(pc, m.GUID, m.Hops+1, 1, p); err != nil {
 					break
 				}
 				sent++
@@ -531,8 +582,7 @@ func (n *Node) handlePing(pc *peerConn, m *Message) error {
 			n.mu.Unlock()
 		}
 		for _, p := range n.hostCache.Pongs(10 - sent) {
-			msg := &Message{GUID: m.GUID, Type: MsgPong, TTL: m.Hops + 1, Hops: 1, Payload: p.Encode()}
-			if err := pc.send(msg); err != nil {
+			if err := n.sendPong(pc, m.GUID, m.Hops+1, 1, p); err != nil {
 				return err
 			}
 		}
@@ -572,11 +622,13 @@ func (n *Node) handleQuery(pc *peerConn, m *Message) error {
 		if n.cfg.Firewalled {
 			qh.Flags |= QHDPush
 		}
-		payload, err := qh.Encode()
+		reply := NewMessage(m.GUID, MsgQueryHit, m.Hops+1, 0, qh.encodedSize())
+		payload, err := qh.AppendTo(reply.Payload)
 		if err != nil {
+			reply.Release()
 			return err
 		}
-		reply := &Message{GUID: m.GUID, Type: MsgQueryHit, TTL: m.Hops + 1, Hops: 0, Payload: payload}
+		reply.Payload = payload
 		if err := pc.send(reply); err != nil {
 			return err
 		}
@@ -585,7 +637,6 @@ func (n *Node) handleQuery(pc *peerConn, m *Message) error {
 	if n.cfg.Role != Ultrapeer || m.TTL <= 1 {
 		return nil
 	}
-	fwd := &Message{GUID: m.GUID, Type: MsgQuery, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
 	n.mu.Lock()
 	targets := make([]*peerConn, 0, len(n.peers))
 	for other := range n.peers {
@@ -603,8 +654,15 @@ func (n *Node) handleQuery(pc *peerConn, m *Message) error {
 		targets = append(targets, other)
 	}
 	n.mu.Unlock()
+	// Zero-copy forward: the received descriptor is forwarded in place —
+	// only the TTL/Hops header fields change, and they change once, before
+	// any target can write the message. Each target holds its own
+	// reference until its writer has flushed the bytes.
+	m.TTL--
+	m.Hops++
 	for _, t := range targets {
-		t.send(fwd)
+		m.Retain()
+		t.send(m)
 	}
 	return nil
 }
@@ -643,8 +701,11 @@ func (n *Node) handleQueryHit(pc *peerConn, m *Message) error {
 	if dest == nil || m.TTL <= 1 {
 		return nil
 	}
-	fwd := &Message{GUID: m.GUID, Type: MsgQueryHit, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
-	return dest.send(fwd)
+	// Zero-copy reverse-path forward; see handleQuery.
+	m.TTL--
+	m.Hops++
+	m.Retain()
+	return dest.send(m)
 }
 
 func (n *Node) handlePush(pc *peerConn, m *Message) error {
@@ -664,8 +725,11 @@ func (n *Node) handlePush(pc *peerConn, m *Message) error {
 	if dest == nil || m.TTL <= 1 {
 		return nil
 	}
-	fwd := &Message{GUID: m.GUID, Type: MsgPush, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
-	return dest.send(fwd)
+	// Zero-copy push forward; see handleQuery.
+	m.TTL--
+	m.Hops++
+	m.Retain()
+	return dest.send(m)
 }
 
 func (n *Node) handleRouteTable(pc *peerConn, m *Message) error {
@@ -708,10 +772,13 @@ func (n *Node) QueryWith(g guid.GUID, criteria string, extensions string) error 
 		return errors.New("gnutella: no peers to query")
 	}
 	q := Query{MinSpeed: 0, Criteria: criteria, Extensions: extensions}
-	m := &Message{GUID: g, Type: MsgQuery, TTL: DefaultTTL, Hops: 0, Payload: q.Encode()}
+	m := NewMessage(g, MsgQuery, DefaultTTL, 0, q.encodedSize())
+	m.Payload = q.AppendTo(m.Payload)
 	for _, pc := range targets {
+		m.Retain()
 		pc.send(m)
 	}
+	m.Release()
 	return nil
 }
 
@@ -721,7 +788,7 @@ func (n *Node) Ping() { n.PingTTL(1) }
 // PingTTL sends a ping with the given TTL on every connection; TTL > 1
 // also harvests cached pongs from ultrapeers (host discovery).
 func (n *Node) PingTTL(ttl byte) {
-	m := &Message{GUID: guid.New(), Type: MsgPing, TTL: ttl}
+	m := NewMessage(guid.New(), MsgPing, ttl, 0, 0)
 	n.mu.Lock()
 	targets := make([]*peerConn, 0, len(n.peers))
 	for pc := range n.peers {
@@ -729,19 +796,22 @@ func (n *Node) PingTTL(ttl byte) {
 	}
 	n.mu.Unlock()
 	for _, pc := range targets {
+		m.Retain()
 		pc.send(m)
 	}
+	m.Release()
 }
 
 // SendPush routes a push request toward the servent that produced a hit.
 // The hit must have been received by this node (so a push route exists).
 func (n *Node) SendPush(serventID guid.GUID, index uint32, ip net.IP, port uint16) error {
 	p := Push{ServentID: serventID, Index: index, IP: ip, Port: port}
-	m := &Message{GUID: guid.New(), Type: MsgPush, TTL: DefaultTTL, Payload: p.Encode()}
 	dest := n.pushRoutes.lookup(serventID)
 	if dest == nil {
 		return errors.New("gnutella: no push route to servent")
 	}
+	m := NewMessage(guid.New(), MsgPush, DefaultTTL, 0, pushSize)
+	m.Payload = p.AppendTo(m.Payload)
 	return dest.send(m)
 }
 
@@ -776,15 +846,16 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// splitHostPort is a helper tolerant of mem-transport addresses.
+// splitHostPort is a helper tolerant of mem-transport addresses. Like
+// infoFromHeaders it parses the port with strconv rather than Sscanf: a
+// non-numeric or out-of-range port yields 0, never a partial-prefix parse.
 func splitHostPort(addr string) (string, uint16) {
 	host, portStr, err := net.SplitHostPort(addr)
 	if err != nil {
 		return addr, 0
 	}
-	var p int
-	fmt.Sscanf(portStr, "%d", &p)
-	if p < 0 || p > 65535 {
+	p, err := strconv.Atoi(portStr)
+	if err != nil || p < 0 || p > 65535 {
 		p = 0
 	}
 	return host, uint16(p)

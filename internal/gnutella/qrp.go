@@ -3,7 +3,6 @@ package gnutella
 import (
 	"encoding/binary"
 	"fmt"
-	"strings"
 
 	"p2pmalware/internal/p2p"
 )
@@ -100,7 +99,8 @@ func (t *QRPTable) AddLibrary(lib *p2p.Library) {
 // query keyword's slot must be set (AND semantics, like servents used).
 // Queries with no indexable keywords are not forwarded.
 func (t *QRPTable) MightMatch(query string) bool {
-	kws := p2p.Keywords(query)
+	var kwBuf [16]string
+	kws := p2p.AppendKeywords(kwBuf[:0], query)
 	if len(kws) == 0 {
 		return false
 	}
@@ -195,18 +195,6 @@ func ApplyQRPUpdate(cur *QRPTable, payload []byte) (*QRPTable, error) {
 // own library; used by tests to cross-validate QRP's no-false-negative
 // property.
 func QueryMatchesName(query, name string) bool {
-	nameKws := make(map[string]bool)
-	for _, kw := range p2p.Keywords(name) {
-		nameKws[kw] = true
-	}
-	kws := p2p.Keywords(query)
-	if len(kws) == 0 {
-		return false
-	}
-	for _, kw := range kws {
-		if !nameKws[strings.ToLower(kw)] {
-			return false
-		}
-	}
-	return true
+	var kwBuf [16]string
+	return p2p.MatchesAllKeywords(name, p2p.AppendKeywords(kwBuf[:0], query))
 }

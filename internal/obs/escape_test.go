@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// escaperCorpus collects the boundary cases where a hand-rolled JSON
+// string encoder classically diverges from encoding/json: two-character
+// escapes, \u00XX control bytes, the HTML-safe set, the JS line
+// separators, and invalid UTF-8 in every position.
+var escaperCorpus = []string{
+	"",
+	"plain ascii",
+	`quote " backslash \ slash /`,
+	"\b\f\n\r\t",
+	"\x00\x01\x1f\x7f",
+	"<script>&amp;</script>",
+	"setup.exe",
+	"münchen.exe \u00e9\u4e16\u754c",
+	"\u2028\u2029 mixed \u2028tail",
+	"\xff",
+	"\xff\xfe invalid lead",
+	"tail invalid \xc3",
+	"truncated \xe2\x80",
+	"\ufffd real replacement rune",
+	"mixed \xffand\ufffd forms",
+	"a\x80b",
+	strings.Repeat("long unescaped segment ", 64),
+	strings.Repeat("<&>\n", 100),
+}
+
+func marshalString(t testing.TB, s string) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("json.Marshal(%q): %v", s, err)
+	}
+	return b
+}
+
+// TestAppendJSONStringMatchesJSONMarshal pins the manual escaper
+// byte-for-byte to encoding/json over the corpus, every single-byte
+// string, and every two-byte string drawn from the interesting byte set —
+// the property the golden-trace gate depends on.
+func TestAppendJSONStringMatchesJSONMarshal(t *testing.T) {
+	check := func(s string) {
+		t.Helper()
+		got := AppendJSONString(nil, s)
+		want := marshalString(t, s)
+		if string(got) != string(want) {
+			t.Fatalf("escaper diverges on %q:\n got %s\nwant %s", s, got, want)
+		}
+	}
+	for _, s := range escaperCorpus {
+		check(s)
+	}
+	for b := 0; b < 256; b++ {
+		check(string([]byte{byte(b)}))
+	}
+	interesting := []byte{0x00, 0x1f, '"', '\\', '<', '&', 'a', 0x7f, 0x80, 0xc3, 0xe2, 0xff}
+	for _, b1 := range interesting {
+		for _, b2 := range interesting {
+			check(string([]byte{b1, b2}))
+		}
+	}
+}
+
+// TestAppendJSONStringRandomized drives the same equivalence over seeded
+// random byte strings (frequently invalid UTF-8) and random rune strings.
+func TestAppendJSONStringRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2006))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		raw := make([]byte, n)
+		for j := range raw {
+			raw[j] = byte(rng.Intn(256))
+		}
+		s := string(raw)
+		if got, want := AppendJSONString(nil, s), marshalString(t, s); string(got) != string(want) {
+			t.Fatalf("escaper diverges on %q:\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendJSONStringAppendsInPlace verifies dst is appended to, not
+// replaced, and that no extra bytes leak in before the opening quote.
+func TestAppendJSONStringAppendsInPlace(t *testing.T) {
+	dst := []byte("prefix:")
+	dst = AppendJSONString(dst, `a"b`)
+	if string(dst) != `prefix:"a\"b"` {
+		t.Fatalf("got %s", dst)
+	}
+}
+
+// FuzzAppendJSONString holds the manual escaper equal to json.Marshal on
+// arbitrary strings; the seed corpus covers every known divergence class.
+func FuzzAppendJSONString(f *testing.F) {
+	for _, s := range escaperCorpus {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := AppendJSONString(nil, s)
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		if string(got) != string(want) {
+			t.Fatalf("escaper diverges on %q:\n got %s\nwant %s", s, got, want)
+		}
+	})
+}

@@ -278,28 +278,49 @@ func (r *SpanRecorder) Len() int {
 	return len(r.spans)
 }
 
+// spanLess is the canonical (time, scope, emission order) stream order
+// shared by the merge paths.
+func spanLess(a, b *Span) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	if a.Scope != b.Scope {
+		return a.Scope < b.Scope
+	}
+	return a.emit < b.emit
+}
+
 // MergeSpans interleaves per-scope span streams into one chronological
 // stream ordered by (time, scope, emission order) — the same discipline as
 // MergeEvents, and deterministic for the same reason: each input stream's
-// emission order is itself deterministic.
+// emission order is itself deterministic. Like MergeEvents it runs an
+// O(n log k) k-way merge over already-sorted streams (the committer stamps
+// spans in commit order, so recorder streams normally are) and falls back
+// to the stable sort when a stream arrives out of order.
 func MergeSpans(streams ...[]Span) []Span {
 	var n int
+	sorted := true
 	for _, s := range streams {
 		n += len(s)
+		for i := 1; sorted && i < len(s); i++ {
+			if spanLess(&s[i], &s[i-1]) {
+				sorted = false
+			}
+		}
 	}
 	out := make([]Span, 0, n)
-	for _, s := range streams {
-		out = append(out, s...)
+	if !sorted {
+		for _, s := range streams {
+			out = append(out, s...)
+		}
+		sort.SliceStable(out, func(i, j int) bool { return spanLess(&out[i], &out[j]) })
+		return out
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].Time.Equal(out[j].Time) {
-			return out[i].Time.Before(out[j].Time)
-		}
-		if out[i].Scope != out[j].Scope {
-			return out[i].Scope < out[j].Scope
-		}
-		return out[i].emit < out[j].emit
-	})
+	h := mergeHeap[Span]{streams: streams, pos: make([]int, len(streams)), less: spanLess}
+	h.init()
+	for h.len > 0 {
+		out = append(out, *h.pop())
+	}
 	return out
 }
 
@@ -308,15 +329,17 @@ func MergeSpans(streams ...[]Span) []Span {
 // omitted, so the encoding is byte-deterministic. Span IDs render as
 // zero-padded 16-digit hex strings: JSON numbers cannot carry a full
 // uint64 without loss.
+//
+// lint:hotpath
 func AppendSpan(dst []byte, sp Span) []byte {
 	dst = append(dst, `{"t":"`...)
 	dst = sp.Time.UTC().AppendFormat(dst, time.RFC3339Nano)
 	dst = append(dst, `","scope":`...)
-	dst = appendJSONString(dst, sp.Scope)
+	dst = AppendJSONString(dst, sp.Scope)
 	dst = append(dst, `,"seq":`...)
 	dst = strconv.AppendInt(dst, sp.Seq, 10)
 	dst = append(dst, `,"span":`...)
-	dst = appendJSONString(dst, sp.Stage)
+	dst = AppendJSONString(dst, sp.Stage)
 	dst = append(dst, `,"id":"`...)
 	dst = appendSpanID(dst, sp.ID)
 	dst = append(dst, '"')
@@ -339,11 +362,11 @@ func AppendSpan(dst []byte, sp Span) []byte {
 	}
 	if sp.Fate != "" {
 		dst = append(dst, `,"fate":`...)
-		dst = appendJSONString(dst, sp.Fate)
+		dst = AppendJSONString(dst, sp.Fate)
 	}
 	if sp.Detail != "" {
 		dst = append(dst, `,"detail":`...)
-		dst = appendJSONString(dst, sp.Detail)
+		dst = AppendJSONString(dst, sp.Detail)
 	}
 	if sp.WallUS >= 0 {
 		dst = append(dst, `,"wall_us":`...)
@@ -354,8 +377,9 @@ func AppendSpan(dst []byte, sp Span) []byte {
 }
 
 // appendSpanID renders id as fixed-width hex.
+//
+// lint:hotpath
 func appendSpanID(dst []byte, id SpanID) []byte {
-	const hexDigits = "0123456789abcdef"
 	for shift := 60; shift >= 0; shift -= 4 {
 		dst = append(dst, hexDigits[(uint64(id)>>shift)&0xF])
 	}

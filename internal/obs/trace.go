@@ -2,35 +2,59 @@ package obs
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"p2pmalware/internal/simclock"
 )
 
+// attrKind discriminates the concrete value stored in an Attr.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
 // Attr is one ordered key/value pair on an event. Keys must not collide
 // with the reserved event fields ("t", "scope", "seq", "event").
+//
+// Attr is a small concrete value, not an interface box: constructing one
+// with String/Int/Float/Bool stores the payload inline (floats as their
+// IEEE-754 bits), so building attributes on the trace hot path performs no
+// heap allocation. The zero Attr encodes as an empty string.
 type Attr struct {
-	Key   string
-	Value any
+	Key  string
+	kind attrKind
+	str  string
+	num  uint64
 }
 
 // String builds a string attribute.
-func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+func String(k, v string) Attr { return Attr{Key: k, kind: attrString, str: v} }
 
 // Int builds an integer attribute.
-func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+func Int(k string, v int64) Attr { return Attr{Key: k, kind: attrInt, num: uint64(v)} }
 
 // Float builds a float attribute.
-func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+func Float(k string, v float64) Attr { return Attr{Key: k, kind: attrFloat, num: math.Float64bits(v)} }
 
 // Bool builds a boolean attribute.
-func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Attr{Key: k, kind: attrBool, num: n}
+}
 
 // Event is one structured trace event. Time comes from the tracer's
 // (virtual) trace clock, so same-seed simulation runs produce identical
@@ -54,7 +78,21 @@ type Tracer struct {
 	mu     sync.Mutex
 	seq    uint64  // guarded by mu
 	events []Event // guarded by mu
+	// arena is the shared attribute backing store: EmitAt copies each
+	// event's attrs to the arena tail instead of retaining the caller's
+	// variadic slice, so the slice never escapes and Emit stays
+	// allocation-free in steady state. Events hold capacity-capped
+	// three-index slices into the arena. The arena grows in fixed-size
+	// chunks rather than by doubling: a full chunk is simply abandoned to
+	// the events that point into it (it stays valid forever) and a fresh
+	// one started, so no emit ever pays an O(arena) copy. Guarded by mu.
+	arena []Attr
 }
+
+// arenaChunkAttrs is the attr arena chunk size. Large enough that chunk
+// turnover is negligible (one small allocation per ~8k attrs), small enough
+// that an abandoned chunk tail wastes almost nothing.
+const arenaChunkAttrs = 8192
 
 // NewTracer returns a tracer reading timestamps from clock (nil means the
 // real clock) and stamping every event with scope (e.g. the network name).
@@ -63,6 +101,8 @@ func NewTracer(clock simclock.Clock, scope string) *Tracer {
 }
 
 // Emit records one event at the tracer clock's current time.
+//
+// lint:hotpath
 func (t *Tracer) Emit(name string, attrs ...Attr) {
 	if t == nil {
 		return
@@ -82,32 +122,60 @@ func reservedAttrKey(k string) bool {
 	return false
 }
 
+// panicReservedKey lives off the hot path so EmitAt itself stays free of
+// fmt boxing under the hotpath allocation contract.
+func panicReservedKey(name, key string) {
+	panic(fmt.Sprintf("obs: event %q uses reserved attribute key %q", name, key))
+}
+
 // EmitAt records one event at an explicit trace timestamp. The pipelined
 // study committer uses it to stamp deferred events with the originating
 // query's virtual time after the clock has already advanced. Seq still
 // reflects emission order within the tracer, so callers that need a
 // deterministic stream must emit in the intended stream order.
 //
+// The attrs are copied into the tracer's arena: callers keep ownership of
+// the slice they passed and may reuse it immediately.
+//
 // Attribute keys colliding with the reserved event fields ("t", "scope",
 // "seq", "event") panic: like Registry label misuse, a reserved-key
 // collision is a programming error at the instrumentation site, and the
 // JSONL stream must stay unambiguous.
+//
+// lint:hotpath
 func (t *Tracer) EmitAt(at time.Time, name string, attrs ...Attr) {
 	if t == nil {
 		return
 	}
-	for _, a := range attrs {
-		if reservedAttrKey(a.Key) {
-			panic(fmt.Sprintf("obs: event %q uses reserved attribute key %q", name, a.Key))
+	for i := range attrs {
+		if reservedAttrKey(attrs[i].Key) {
+			panicReservedKey(name, attrs[i].Key)
 		}
 	}
 	t.mu.Lock()
 	t.seq++
-	t.events = append(t.events, Event{Time: at, Scope: t.scope, Seq: t.seq, Name: name, Attrs: attrs})
+	var as []Attr
+	if len(attrs) > 0 {
+		if len(t.arena)+len(attrs) > cap(t.arena) {
+			size := arenaChunkAttrs
+			if len(attrs) > size {
+				size = len(attrs)
+			}
+			t.arena = make([]Attr, 0, size)
+		}
+		n := len(t.arena)
+		t.arena = append(t.arena, attrs...)
+		// Cap the slice at its own end so a consumer appending to an
+		// event's Attrs cannot overwrite a later event's attributes.
+		as = t.arena[n:len(t.arena):len(t.arena)]
+	}
+	t.events = append(t.events, Event{Time: at, Scope: t.scope, Seq: t.seq, Name: name, Attrs: as})
 	t.mu.Unlock()
 }
 
 // Events returns a copy of everything emitted so far, in emission order.
+// The events' Attrs share the tracer's append-only arena; they are stable
+// but must not be mutated.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -127,76 +195,249 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// eventLess is the canonical (time, scope, seq) stream order shared by the
+// merge paths.
+func eventLess(a, b *Event) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	if a.Scope != b.Scope {
+		return a.Scope < b.Scope
+	}
+	return a.Seq < b.Seq
+}
+
 // MergeEvents interleaves per-scope event streams into one chronological
 // stream, ordered by (time, scope, seq). Each input stream must itself be
 // in emission order (as Tracer.Events returns); the merge is then fully
 // deterministic even when the streams were produced concurrently.
+//
+// Streams already sorted by (time, scope, seq) — the common case, since a
+// tracer's emission order normally follows its virtual clock — take an
+// O(n log k) k-way heap merge instead of re-sorting the concatenation.
+// EmitAt permits out-of-order timestamps, so an unsorted stream falls back
+// to the stable sort with identical results.
 func MergeEvents(streams ...[]Event) []Event {
 	var n int
+	sorted := true
 	for _, s := range streams {
 		n += len(s)
+		for i := 1; sorted && i < len(s); i++ {
+			if eventLess(&s[i], &s[i-1]) {
+				sorted = false
+			}
+		}
 	}
 	out := make([]Event, 0, n)
-	for _, s := range streams {
-		out = append(out, s...)
+	if !sorted {
+		for _, s := range streams {
+			out = append(out, s...)
+		}
+		sort.SliceStable(out, func(i, j int) bool { return eventLess(&out[i], &out[j]) })
+		return out
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].Time.Equal(out[j].Time) {
-			return out[i].Time.Before(out[j].Time)
-		}
-		if out[i].Scope != out[j].Scope {
-			return out[i].Scope < out[j].Scope
-		}
-		return out[i].Seq < out[j].Seq
-	})
+	// K-way merge: a small index heap keyed by each stream's head, with
+	// the stream index as the final tie-break so equal keys preserve
+	// argument order exactly like the stable sort.
+	h := mergeHeap[Event]{streams: streams, pos: make([]int, len(streams)), less: eventLess}
+	h.init()
+	for h.len > 0 {
+		out = append(out, *h.pop())
+	}
 	return out
+}
+
+// mergeHeap is a minimal binary heap over the head elements of k sorted
+// streams, shared by MergeEvents and MergeSpans. pos[i] is the next unread
+// index in streams[i]; idx holds the stream indices currently in the heap.
+type mergeHeap[T any] struct {
+	streams [][]T
+	pos     []int
+	idx     []int
+	len     int
+	less    func(a, b *T) bool
+}
+
+func (h *mergeHeap[T]) init() {
+	h.idx = make([]int, 0, len(h.streams))
+	for i, s := range h.streams {
+		if len(s) > 0 {
+			h.idx = append(h.idx, i)
+		}
+	}
+	h.len = len(h.idx)
+	for i := h.len/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// head returns the current head element of the stream at heap slot i.
+func (h *mergeHeap[T]) head(i int) *T {
+	s := h.idx[i]
+	return &h.streams[s][h.pos[s]]
+}
+
+// heapLess orders heap slots by element, then by stream index for
+// stability.
+func (h *mergeHeap[T]) heapLess(i, j int) bool {
+	a, b := h.head(i), h.head(j)
+	if h.less(a, b) {
+		return true
+	}
+	if h.less(b, a) {
+		return false
+	}
+	return h.idx[i] < h.idx[j]
+}
+
+func (h *mergeHeap[T]) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= h.len {
+			return
+		}
+		m := l
+		if r := l + 1; r < h.len && h.heapLess(r, l) {
+			m = r
+		}
+		if !h.heapLess(m, i) {
+			return
+		}
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		i = m
+	}
+}
+
+// pop returns the overall minimum head and advances its stream, removing
+// the stream from the heap when exhausted.
+func (h *mergeHeap[T]) pop() *T {
+	s := h.idx[0]
+	e := &h.streams[s][h.pos[s]]
+	h.pos[s]++
+	if h.pos[s] >= len(h.streams[s]) {
+		h.idx[0] = h.idx[h.len-1]
+		h.len--
+	}
+	h.down(0)
+	return e
 }
 
 // AppendEvent renders one event as a single JSON line (without trailing
 // newline) appended to dst. Fields appear in a fixed order — reserved
 // fields first, then attributes in emission order — so the encoding is
-// byte-deterministic.
+// byte-deterministic. Every attribute kind renders through a typed
+// append; nothing on this path boxes into an interface.
+//
+// lint:hotpath
 func AppendEvent(dst []byte, e Event) []byte {
 	dst = append(dst, `{"t":"`...)
 	dst = e.Time.UTC().AppendFormat(dst, time.RFC3339Nano)
 	dst = append(dst, `","scope":`...)
-	dst = appendJSONString(dst, e.Scope)
+	dst = AppendJSONString(dst, e.Scope)
 	dst = append(dst, `,"seq":`...)
 	dst = strconv.AppendUint(dst, e.Seq, 10)
 	dst = append(dst, `,"event":`...)
-	dst = appendJSONString(dst, e.Name)
-	for _, a := range e.Attrs {
+	dst = AppendJSONString(dst, e.Name)
+	for i := range e.Attrs {
+		a := &e.Attrs[i]
 		dst = append(dst, ',')
-		dst = appendJSONString(dst, a.Key)
+		dst = AppendJSONString(dst, a.Key)
 		dst = append(dst, ':')
-		switch v := a.Value.(type) {
-		case string:
-			dst = appendJSONString(dst, v)
-		case int64:
-			dst = strconv.AppendInt(dst, v, 10)
-		case int:
-			dst = strconv.AppendInt(dst, int64(v), 10)
-		case float64:
-			dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
-		case bool:
-			dst = strconv.AppendBool(dst, v)
-		default:
-			dst = appendJSONString(dst, fmt.Sprint(v))
+		switch a.kind {
+		case attrString:
+			dst = AppendJSONString(dst, a.str)
+		case attrInt:
+			dst = strconv.AppendInt(dst, int64(a.num), 10)
+		case attrFloat:
+			dst = strconv.AppendFloat(dst, math.Float64frombits(a.num), 'g', -1, 64)
+		case attrBool:
+			dst = strconv.AppendBool(dst, a.num != 0)
 		}
 	}
 	dst = append(dst, '}')
 	return dst
 }
 
-// appendJSONString appends s as a JSON string literal.
-func appendJSONString(dst []byte, s string) []byte {
-	b, err := json.Marshal(s)
-	if err != nil {
-		// Marshalling a string only fails on invalid UTF-8, which
-		// json.Marshal replaces rather than rejects; keep the event.
-		return append(dst, `""`...)
+// hexDigits also serves appendSpanID in span.go.
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes AppendJSONString copies through verbatim,
+// mirroring encoding/json's HTML-escaping safe set: control bytes, the
+// quote, the backslash, and the HTML-significant <, >, & are escaped;
+// everything else (including DEL) passes through.
+var jsonSafe [utf8.RuneSelf]bool
+
+func init() {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		jsonSafe[b] = true
 	}
-	return append(dst, b...)
+	jsonSafe['"'] = false
+	jsonSafe['\\'] = false
+	jsonSafe['<'] = false
+	jsonSafe['>'] = false
+	jsonSafe['&'] = false
+}
+
+// AppendJSONString appends s as a JSON string literal, byte-identical to
+// encoding/json.Marshal's default encoding for every input string: the
+// same two-character escapes, \u00XX for remaining control bytes, HTML
+// escaping of <, >, and &,  /  escaped for JavaScript embedding,
+// and each invalid UTF-8 byte replaced with �. The golden-trace gate
+// and FuzzAppendJSONString hold the two encoders equal. Unlike the
+// json.Marshal path it replaces, it allocates nothing beyond dst growth.
+//
+// lint:hotpath
+func AppendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"', '\\':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
 }
 
 // WriteEventsJSONL streams events as JSONL.

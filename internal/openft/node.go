@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +78,10 @@ type session struct {
 	node *Node
 	conn net.Conn
 	br   *bufio.Reader
+	// bw coalesces outbound packets: the writer goroutine stages a whole
+	// burst through it and flushes once. Direct (handshake-phase) sends
+	// share it under sendMu and flush per packet.
+	bw   *bufio.Writer
 	info NodeInfo
 	// isChild marks an accepted USER child (on a SEARCH node).
 	isChild bool
@@ -97,25 +100,41 @@ type session struct {
 const sessionQueueCap = 512
 
 func newSession(n *Node, c net.Conn, br *bufio.Reader) *session {
-	return &session{node: n, conn: c, br: br,
+	return &session{node: n, conn: c, br: br, bw: bufio.NewWriterSize(c, 8<<10),
 		out: make(chan *Packet, sessionQueueCap), done: make(chan struct{}), direct: true}
 }
 
+var (
+	errSessionClosed = errors.New("openft: session closed")
+	errQueueFull     = errors.New("openft: send queue full, packet dropped")
+)
+
+// send hands one packet to the session, consuming one reference on every
+// path: a direct (handshake-phase) write releases after flushing, a
+// queued packet is released by the writer goroutine, and the closed/drop
+// paths release before returning the error.
+//
+// lint:hotpath
 func (s *session) send(p *Packet) error {
 	s.sendMu.Lock()
 	direct := s.direct
 	if direct {
-		defer s.sendMu.Unlock()
-		err := WritePacket(s.conn, p)
+		err := p.writeTo(s.bw)
+		if err == nil {
+			err = s.bw.Flush()
+		}
 		if err == nil {
 			met.tx[cmdIndex(p.Cmd)].Inc()
 		}
+		s.sendMu.Unlock()
+		p.Release()
 		return err
 	}
 	s.sendMu.Unlock()
 	select {
 	case <-s.done:
-		return errors.New("openft: session closed")
+		p.Release()
+		return errSessionClosed
 	default:
 	}
 	select {
@@ -123,7 +142,8 @@ func (s *session) send(p *Packet) error {
 		return nil
 	default:
 		met.drop[cmdIndex(p.Cmd)].Inc()
-		return errors.New("openft: send queue full, packet dropped")
+		p.Release()
+		return errQueueFull
 	}
 }
 
@@ -133,20 +153,43 @@ func (s *session) startWriter() {
 	s.sendMu.Lock()
 	s.direct = false
 	s.sendMu.Unlock()
-	go func() {
-		for {
-			select {
-			case <-s.done:
-				return
-			case p := <-s.out:
-				if err := WritePacket(s.conn, p); err != nil {
+	go s.writeLoop()
+}
+
+// writeLoop drains the outbound queue, coalescing a burst of packets into
+// the session's write buffer and flushing once when the queue runs dry —
+// one syscall (or simulated link write) per burst instead of one per
+// packet. Packets left in the queue at shutdown are garbage-collected,
+// never double-released.
+func (s *session) writeLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case p := <-s.out:
+			for {
+				err := p.writeTo(s.bw)
+				if err == nil {
+					met.tx[cmdIndex(p.Cmd)].Inc()
+				}
+				p.Release()
+				if err != nil {
 					s.shutdown()
 					return
 				}
-				met.tx[cmdIndex(p.Cmd)].Inc()
+				select {
+				case p = <-s.out:
+					continue
+				default:
+				}
+				break
+			}
+			if err := s.bw.Flush(); err != nil {
+				s.shutdown()
+				return
 			}
 		}
-	}()
+	}
 }
 
 // shutdown marks the session dead and closes the connection; idempotent.
@@ -244,17 +287,21 @@ func (n *Node) acceptSession(c net.Conn, br *bufio.Reader) {
 	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	p, err := ReadPacket(br)
 	if err != nil || p.Cmd != CmdVersionReq {
+		p.Release() // nil-safe; owed back on the mismatch path too
 		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
+	p.Release()
 	p, err = ReadPacket(br)
 	if err != nil || p.Cmd != CmdNodeInfo {
+		p.Release()
 		met.handshakeAcceptErr.Inc()
 		c.Close()
 		return
 	}
 	info, err := ParseNodeInfo(p.Payload)
+	p.Release() // ParseNodeInfo copied every field out of the payload
 	if err != nil {
 		met.handshakeAcceptErr.Inc()
 		c.Close()
@@ -309,17 +356,21 @@ func (n *Node) connect(addr string) (*session, error) {
 	c.SetReadDeadline(ioDeadline(10 * time.Second))
 	p, err := ReadPacket(br)
 	if err != nil || p.Cmd != CmdVersionResp {
+		p.Release()
 		met.handshakeDialErr.Inc()
 		c.Close()
 		return nil, errors.New("openft: bad version response")
 	}
+	p.Release()
 	p, err = ReadPacket(br)
 	if err != nil || p.Cmd != CmdNodeInfo {
+		p.Release()
 		met.handshakeDialErr.Inc()
 		c.Close()
 		return nil, errors.New("openft: missing node info")
 	}
 	info, err := ParseNodeInfo(p.Payload)
+	p.Release()
 	if err != nil {
 		met.handshakeDialErr.Inc()
 		c.Close()
@@ -478,10 +529,15 @@ func (n *Node) runSession(s *session) {
 			return
 		}
 		met.rx[cmdIndex(p.Cmd)].Inc()
-		if err := n.handle(s, p); err != nil {
+		err = n.handle(s, p)
+		if err != nil {
 			n.logf("handle %s from %s: %v", p.Cmd, s.conn.RemoteAddr(), err)
+			p.Release()
 			return
 		}
+		// The session loop owns the read reference; handlers that need the
+		// packet past this point (the search-response relay) retain it.
+		p.Release()
 	}
 }
 
@@ -589,12 +645,17 @@ func (n *Node) handleSearchReq(s *session, p *Packet) error {
 	}
 	n.searchSeen[req.ID] = true
 	n.respRoutes[req.ID] = s
-	// Collect matches from the child-share index.
+	// Collect matches from the child-share index. The query is tokenized
+	// once and probed against every share path.
+	var qkwBuf [16]string
+	qkws := p2p.AppendKeywords(qkwBuf[:0], req.Query)
 	var matches []childShare
-	for _, shares := range n.childShares {
-		for _, cs := range shares {
-			if shareMatches(cs.share, req.Query) {
-				matches = append(matches, cs)
+	if len(qkws) > 0 {
+		for _, shares := range n.childShares {
+			for _, cs := range shares {
+				if p2p.MatchesAllKeywords(cs.share.Path, qkws) {
+					matches = append(matches, cs)
+				}
 			}
 		}
 	}
@@ -640,8 +701,11 @@ func (n *Node) handleSearchResp(s *session, p *Packet) error {
 		}
 		return nil
 	}
-	// Relay results (not remote End markers) toward the origin.
+	// Relay results (not remote End markers) toward the origin. The packet
+	// is the session loop's borrow; the relay takes its own reference,
+	// which origin.send consumes on every path.
 	if origin != nil && !resp.End {
+		p.Retain()
 		return origin.send(p)
 	}
 	return nil
@@ -728,20 +792,8 @@ func (n *Node) handleStatsReq(s *session) error {
 
 // shareMatches applies OpenFT keyword AND-matching to a share path.
 func shareMatches(sh Share, query string) bool {
-	kws := p2p.Keywords(query)
-	if len(kws) == 0 {
-		return false
-	}
-	have := make(map[string]bool)
-	for _, kw := range p2p.Keywords(sh.Path) {
-		have[kw] = true
-	}
-	for _, kw := range kws {
-		if !have[strings.ToLower(kw)] {
-			return false
-		}
-	}
-	return true
+	var kwBuf [16]string
+	return p2p.MatchesAllKeywords(sh.Path, p2p.AppendKeywords(kwBuf[:0], query))
 }
 
 // Search issues a search through every connected SEARCH parent and returns

@@ -17,11 +17,16 @@
 package openft
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
+
+	"p2pmalware/internal/bufpool"
 )
 
 // Command is the 16-bit packet command.
@@ -102,43 +107,192 @@ func (c Class) String() string {
 const MaxPacketPayload = 32 << 10
 
 // Packet is one framed OpenFT message.
+//
+// Like gnutella.Message, packets come in two flavors. A plain &Packet{} is
+// unmanaged: it lives on the garbage-collected heap, Retain/Release are
+// no-ops, and it may be shared freely (handshake version packets use
+// these). NewPacket returns a managed packet drawn from a pool, its
+// payload backed by a bufpool slab, carrying one reference; every send
+// consumes one reference and the final Release recycles both object and
+// slab. The retain/copy contract at the routing boundary is documented in
+// DESIGN.md ("Buffer ownership & arena contract").
 type Packet struct {
 	Cmd     Command
 	Payload []byte
+
+	// refs counts outstanding owners of a managed packet; it stays 0 for
+	// the unmanaged flavor. Accessed atomically.
+	refs int32
+	// slab is the pooled payload backing returned to bufpool on final
+	// release; nil for unmanaged packets and empty payloads.
+	slab []byte
 }
+
+// pktPool recycles managed packet headers; their payload slabs cycle
+// through bufpool separately so a child-resp-sized packet never pins a
+// search-hit-sized slab.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a pooled packet holding one reference, with an empty
+// payload backed by a slab of at least payloadCap bytes (none when
+// payloadCap is 0). Build the payload with append into p.Payload; growing
+// past the hint is safe (append falls back to the GC heap and the
+// orphaned slab is still recycled).
+//
+// lint:hotpath
+func NewPacket(cmd Command, payloadCap int) *Packet {
+	p := pktPool.Get().(*Packet)
+	p.Cmd = cmd
+	if payloadCap > 0 {
+		p.slab = bufpool.GetSlab(payloadCap)
+		p.Payload = p.slab[:0]
+	} else {
+		p.slab = nil
+		p.Payload = nil
+	}
+	atomic.StoreInt32(&p.refs, 1)
+	return p
+}
+
+// Retain adds one reference to a managed packet. Callers must already
+// hold a reference (the search-response relay retains before handing the
+// borrowed packet to the origin session). No-op on unmanaged packets.
+//
+// lint:hotpath
+func (p *Packet) Retain() {
+	if p == nil || atomic.LoadInt32(&p.refs) == 0 {
+		return
+	}
+	atomic.AddInt32(&p.refs, 1)
+}
+
+// Release drops one reference; the final release returns the payload slab
+// to bufpool and the packet to its pool. The caller must not touch the
+// packet afterwards. No-op on unmanaged packets, so cleanup code may
+// release unconditionally.
+//
+// lint:hotpath
+func (p *Packet) Release() {
+	if p == nil || atomic.LoadInt32(&p.refs) == 0 {
+		return
+	}
+	if atomic.AddInt32(&p.refs, -1) > 0 {
+		return
+	}
+	if p.slab != nil {
+		bufpool.PutSlab(p.slab)
+	}
+	p.Cmd = 0
+	p.Payload = nil
+	p.slab = nil
+	pktPool.Put(p)
+}
+
+// Managed reports whether p is pool-managed (reference-counted).
+func (p *Packet) Managed() bool { return atomic.LoadInt32(&p.refs) != 0 }
 
 // ErrPacketSize is returned for payloads over MaxPacketPayload.
 var ErrPacketSize = errors.New("openft: packet exceeds size limit")
 
-// WritePacket frames and writes p.
+// WritePacket frames and writes p. The header stages through a stack
+// array and the payload is written as-is — no per-packet frame buffer is
+// allocated. Reference accounting stays with the caller.
 func WritePacket(w io.Writer, p *Packet) error {
 	if len(p.Payload) > MaxPacketPayload {
 		return ErrPacketSize
 	}
-	hdr := make([]byte, 4, 4+len(p.Payload))
+	var hdr [4]byte
 	binary.BigEndian.PutUint16(hdr[0:], uint16(len(p.Payload)))
 	binary.BigEndian.PutUint16(hdr[2:], uint16(p.Cmd))
-	if _, err := w.Write(append(hdr, p.Payload...)); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("openft: write packet: %w", err)
+	}
+	if len(p.Payload) > 0 {
+		if _, err := w.Write(p.Payload); err != nil {
+			return fmt.Errorf("openft: write packet: %w", err)
+		}
 	}
 	return nil
 }
 
-// ReadPacket reads one framed packet.
-func ReadPacket(r io.Reader) (*Packet, error) {
+// writeTo stages p into a session's write buffer without flushing, so a
+// burst of outbound packets coalesces into one wire write. bufio latches
+// errors internally, so byte-at-a-time header staging is safe; the final
+// error surfaces here or at Flush. Reference accounting stays with the
+// caller.
+//
+// lint:hotpath
+func (p *Packet) writeTo(bw *bufio.Writer) error {
+	if len(p.Payload) > MaxPacketPayload {
+		return ErrPacketSize
+	}
+	plen := len(p.Payload)
+	bw.WriteByte(byte(plen >> 8))
+	bw.WriteByte(byte(plen))
+	bw.WriteByte(byte(uint16(p.Cmd) >> 8))
+	err := bw.WriteByte(byte(p.Cmd))
+	if err == nil && plen > 0 {
+		_, err = bw.Write(p.Payload)
+	}
+	return err
+}
+
+// readHeader reads the 4-byte frame header. A *bufio.Reader (the only
+// reader the node layer ever passes) takes the byte-at-a-time fast path,
+// which keeps a stack header from escaping through the io.Reader
+// interface; anything else falls back to ReadFull on a scratch array.
+//
+// lint:hotpath
+func readHeader(r io.Reader) (plen uint16, cmd Command, err error) {
+	if br, ok := r.(*bufio.Reader); ok {
+		b0, err := br.ReadByte()
+		if err != nil {
+			return 0, 0, err
+		}
+		var b1, b2, b3 byte
+		if b1, err = br.ReadByte(); err == nil {
+			if b2, err = br.ReadByte(); err == nil {
+				b3, err = br.ReadByte()
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, 0, err
+		}
+		return uint16(b0)<<8 | uint16(b1), Command(uint16(b2)<<8 | uint16(b3)), nil
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.BigEndian.Uint16(hdr[0:]), Command(binary.BigEndian.Uint16(hdr[2:])), nil
+}
+
+// ReadPacket reads one framed packet.
+//
+// The returned packet is pool-managed: its payload lives in a bufpool
+// slab and the caller holds the one reference. The node's session loop
+// releases it after dispatch, so anything that must outlive the handler —
+// a relay target, a collector — either takes its own reference (Retain)
+// or copies what it needs; the parsed forms (ParseSearchReq,
+// ParseSearchResp, ...) already copy every field out of the payload.
+//
+// lint:hotpath
+func ReadPacket(r io.Reader) (*Packet, error) {
+	plen, cmd, err := readHeader(r)
+	if err != nil {
 		return nil, err
 	}
-	plen := binary.BigEndian.Uint16(hdr[0:])
-	cmd := Command(binary.BigEndian.Uint16(hdr[2:]))
 	if int(plen) > MaxPacketPayload {
 		return nil, ErrPacketSize
 	}
-	p := &Packet{Cmd: cmd}
+	p := NewPacket(cmd, int(plen))
 	if plen > 0 {
-		p.Payload = make([]byte, plen)
+		p.Payload = p.slab[:plen]
 		if _, err := io.ReadFull(r, p.Payload); err != nil {
+			p.Release()
 			return nil, err
 		}
 	}
@@ -265,14 +419,18 @@ type NodeInfo struct {
 	Alias string
 }
 
-// Encode builds a NodeInfo packet.
+// Encode builds a NodeInfo packet into a pooled payload slab.
+//
+// lint:hotpath
 func (ni NodeInfo) Encode() *Packet {
-	var w fieldWriter
+	p := NewPacket(CmdNodeInfo, 2+4+2+len(ni.Alias)+1)
+	w := fieldWriter{b: p.Payload}
 	w.u16(uint16(ni.Class))
 	w.ip(ni.IP)
 	w.u16(ni.Port)
 	w.str(ni.Alias)
-	return &Packet{Cmd: CmdNodeInfo, Payload: w.b}
+	p.Payload = w.b
+	return p
 }
 
 // ParseNodeInfo decodes a NodeInfo payload.
@@ -292,13 +450,17 @@ type Share struct {
 	Path string
 }
 
-// Encode builds an AddShare packet.
+// Encode builds an AddShare packet into a pooled payload slab.
+//
+// lint:hotpath
 func (s Share) Encode(cmd Command) *Packet {
-	var w fieldWriter
+	p := NewPacket(cmd, 4+len(s.MD5)+1+len(s.Path)+1)
+	w := fieldWriter{b: p.Payload}
 	w.u32(s.Size)
 	w.str(s.MD5)
 	w.str(s.Path)
-	return &Packet{Cmd: cmd, Payload: w.b}
+	p.Payload = w.b
+	return p
 }
 
 // ParseShare decodes an ADDSHARE/REMSHARE payload.
@@ -318,13 +480,17 @@ type SearchReq struct {
 	Query string
 }
 
-// Encode builds a SearchReq packet.
+// Encode builds a SearchReq packet into a pooled payload slab.
+//
+// lint:hotpath
 func (s SearchReq) Encode() *Packet {
-	var w fieldWriter
+	p := NewPacket(CmdSearchReq, 4+2+len(s.Query)+1)
+	w := fieldWriter{b: p.Payload}
 	w.u32(s.ID)
 	w.u16(s.TTL)
 	w.str(s.Query)
-	return &Packet{Cmd: CmdSearchReq, Payload: w.b}
+	p.Payload = w.b
+	return p
 }
 
 // ParseSearchReq decodes a search request payload.
@@ -346,9 +512,12 @@ type SearchResp struct {
 	Path string
 }
 
-// Encode builds a SearchResp packet.
+// Encode builds a SearchResp packet into a pooled payload slab.
+//
+// lint:hotpath
 func (s SearchResp) Encode() *Packet {
-	var w fieldWriter
+	p := NewPacket(CmdSearchResp, 4+4+2+4+len(s.MD5)+1+len(s.Path)+1)
+	w := fieldWriter{b: p.Payload}
 	w.u32(s.ID)
 	if s.End {
 		w.ip(net.IPv4zero)
@@ -363,7 +532,8 @@ func (s SearchResp) Encode() *Packet {
 		w.str(s.MD5)
 		w.str(s.Path)
 	}
-	return &Packet{Cmd: CmdSearchResp, Payload: w.b}
+	p.Payload = w.b
+	return p
 }
 
 // ParseSearchResp decodes a search response payload.
@@ -385,16 +555,21 @@ type NodeListEntry struct {
 	Class Class
 }
 
-// EncodeNodeList builds a NODELIST packet carrying the given entries.
+// EncodeNodeList builds a NODELIST packet carrying the given entries,
+// into a pooled payload slab.
+//
+// lint:hotpath
 func EncodeNodeList(entries []NodeListEntry) *Packet {
-	var w fieldWriter
+	p := NewPacket(CmdNodeList, 2+8*len(entries))
+	w := fieldWriter{b: p.Payload}
 	w.u16(uint16(len(entries)))
 	for _, e := range entries {
 		w.ip(e.IP)
 		w.u16(e.Port)
 		w.u16(uint16(e.Class))
 	}
-	return &Packet{Cmd: CmdNodeList, Payload: w.b}
+	p.Payload = w.b
+	return p
 }
 
 // ParseNodeList decodes a NODELIST payload.
@@ -420,13 +595,17 @@ type ChildResp struct {
 	Accepted bool
 }
 
-// Encode builds a ChildResp packet.
+// Encode builds a ChildResp packet into a pooled payload slab.
+//
+// lint:hotpath
 func (c ChildResp) Encode() *Packet {
 	v := byte(0)
 	if c.Accepted {
 		v = 1
 	}
-	return &Packet{Cmd: CmdChildResp, Payload: []byte{v}}
+	p := NewPacket(CmdChildResp, 1)
+	p.Payload = append(p.Payload, v)
+	return p
 }
 
 // ParseChildResp decodes a child response payload.
@@ -444,13 +623,17 @@ type Stats struct {
 	SizeKB   uint32
 }
 
-// Encode builds a StatsResp packet.
+// Encode builds a StatsResp packet into a pooled payload slab.
+//
+// lint:hotpath
 func (s Stats) Encode() *Packet {
-	var w fieldWriter
+	p := NewPacket(CmdStatsResp, 12)
+	w := fieldWriter{b: p.Payload}
 	w.u32(s.Children)
 	w.u32(s.Shares)
 	w.u32(s.SizeKB)
-	return &Packet{Cmd: CmdStatsResp, Payload: w.b}
+	p.Payload = w.b
+	return p
 }
 
 // ParseStats decodes a stats payload.

@@ -5,8 +5,9 @@ import (
 	"encoding/base32"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 )
 
 // SharedFile is one file in a servent's shared folder.
@@ -41,32 +42,114 @@ func URNSHA1(data []byte) string {
 // first appearance. Both protocol stacks and the workload generator share
 // this definition, mirroring how servents normalized QRP keywords.
 func Keywords(s string) []string {
-	var words []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() >= 2 {
-			words = append(words, cur.String())
-		}
-		cur.Reset()
-	}
-	for _, r := range strings.ToLower(s) {
+	return AppendKeywords(nil, s)
+}
+
+// AppendKeywords appends the keywords of s to dst and returns it. Words
+// that are already lower-case alias s instead of copying, and the scratch
+// space for words that need lowering lives on the stack, so query matching
+// can tokenize without allocating when dst has capacity. Deduplication is
+// scoped to the words of s, not to anything already in dst.
+func AppendKeywords(dst []string, s string) []string {
+	base := len(dst)
+	var scratchBuf [64]byte
+	scratch := scratchBuf[:0]
+	start := -1     // byte offset of the current word in s, -1 = none
+	copied := false // current word differs from s[start:...] once lowered
+	wlen := 0       // rune (== byte, words are ASCII) length of the word
+	for i, r := range s {
+		lr := r
 		switch {
 		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
-			cur.WriteRune(r)
+			// keyword rune, already lower-case
+		case r >= 'A' && r <= 'Z':
+			lr = r + ('a' - 'A')
+		case r >= utf8.RuneSelf:
+			// A handful of non-ASCII runes lower to ASCII (e.g. the
+			// Kelvin sign); everything else separates, exactly as the
+			// strings.ToLower pre-pass used to behave.
+			lr = unicode.ToLower(r)
+			if !(lr >= 'a' && lr <= 'z' || lr >= '0' && lr <= '9') {
+				lr = -1
+			}
 		default:
-			flush()
+			lr = -1 // separator
+		}
+		if lr >= 0 {
+			if start < 0 {
+				start, copied, wlen = i, false, 0
+				scratch = scratch[:0]
+			}
+			wlen++
+			if lr != r {
+				if !copied {
+					scratch = append(scratch[:0], s[start:i]...)
+					copied = true
+				}
+				scratch = append(scratch, byte(lr))
+			} else if copied {
+				scratch = append(scratch, byte(r))
+			}
+			continue
+		}
+		if start >= 0 {
+			dst = appendWord(dst, base, s[start:i], scratch, copied, wlen)
+			start = -1
 		}
 	}
-	flush()
-	seen := make(map[string]bool, len(words))
-	out := words[:0]
-	for _, w := range words {
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
+	if start >= 0 {
+		dst = appendWord(dst, base, s[start:], scratch, copied, wlen)
+	}
+	return dst
+}
+
+// appendWord appends one tokenized word to dst unless it is too short or
+// already present in dst[base:]. The word is s-aliasing raw unless copied,
+// in which case scratch holds its lowered bytes.
+func appendWord(dst []string, base int, raw string, scratch []byte, copied bool, wlen int) []string {
+	if wlen < 2 {
+		return dst
+	}
+	if copied {
+		for _, w := range dst[base:] {
+			if w == string(scratch) {
+				return dst
+			}
+		}
+		return append(dst, string(scratch))
+	}
+	for _, w := range dst[base:] {
+		if w == raw {
+			return dst
 		}
 	}
-	return out
+	return append(dst, raw)
+}
+
+// MatchesAllKeywords reports whether every keyword in kws appears among the
+// keywords of name — the AND semantics both protocol stacks apply. kws must
+// already be tokenized (lower-case); an empty kws never matches. Tokenizing
+// the query once and probing many names through this avoids re-tokenizing
+// the query per candidate.
+func MatchesAllKeywords(name string, kws []string) bool {
+	if len(kws) == 0 {
+		return false
+	}
+	var buf [16]string
+	nameKws := AppendKeywords(buf[:0], name)
+	for _, kw := range kws {
+		found := false
+		for _, nk := range nameKws {
+			if nk == kw {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // Library is a keyword-indexed shared folder. It is safe for concurrent
@@ -170,7 +253,8 @@ func (l *Library) Len() int {
 // servents implemented). Results are sorted by index for determinism and
 // capped at limit (limit <= 0 means no cap).
 func (l *Library) Match(query string, limit int) []*SharedFile {
-	kws := Keywords(query)
+	var kwBuf [16]string
+	kws := AppendKeywords(kwBuf[:0], query)
 	if len(kws) == 0 {
 		return nil
 	}
@@ -193,13 +277,12 @@ func (l *Library) Match(query string, limit int) []*SharedFile {
 		if f == nil {
 			continue
 		}
-		fileKws := make(map[string]bool)
-		for _, kw := range Keywords(f.Name) {
-			fileKws[kw] = true
-		}
+		// The posting sets already index every keyword of every name, so
+		// AND-matching is pure set membership — no re-tokenizing the name
+		// per candidate.
 		all := true
 		for _, kw := range kws {
-			if !fileKws[kw] {
+			if !l.byKeyword[kw][idx] {
 				all = false
 				break
 			}
