@@ -28,6 +28,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzPEParse -fuzztime=10s ./internal/pe
 	go test -run='^$$' -fuzz=FuzzDownloadResponse -fuzztime=10s ./internal/gnutella
 	go test -run='^$$' -fuzz=FuzzDownloadResponse -fuzztime=10s ./internal/openft
+	go test -run='^$$' -fuzz=FuzzCheckLine -fuzztime=10s ./internal/filtersvc
 
 # Chaos gate: the fault-profile × worker-count survival matrix plus the
 # faulted determinism pin, under the race detector, twice.
@@ -40,15 +41,16 @@ chaos:
 golden:
 	go test ./internal/core/ -count=1 -run TestGoldenTrace
 
-# Benchmarks: the obs/archive/scanner hot paths run 6 times each so the
-# output feeds benchstat; the table/figure pipeline and study-engine
-# benchmarks are heavyweight (each iteration runs a scaled-down study)
-# and run once. benchjson folds everything into BENCH_6.json (mean across
-# runs), which CI uploads as an artifact. Non-gating in CI.
+# Benchmarks: the obs/archive/scanner/filtersvc hot paths run 6 times
+# each so the output feeds benchstat; the table/figure pipeline and
+# study-engine benchmarks are heavyweight (each iteration runs a
+# scaled-down study) and run once. benchjson folds everything into
+# BENCH_7.json (mean across runs), which CI uploads as an artifact.
+# Non-gating in CI.
 bench:
-	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive ./internal/scanner | tee bench.out
+	go test -run='^$$' -bench=. -benchmem -count=6 ./internal/obs ./internal/archive ./internal/scanner ./internal/filtersvc | tee bench.out
 	go test -run='^$$' -bench=. -benchmem -count=1 . | tee -a bench.out
-	go run ./cmd/benchjson -o BENCH_6.json < bench.out >/dev/null
+	go run ./cmd/benchjson -o BENCH_7.json < bench.out >/dev/null
 	rm -f bench.out
 
 # Bench-regression gate: diff the two newest committed BENCH_<n>.json

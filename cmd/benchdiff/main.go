@@ -53,8 +53,10 @@ type Summary struct {
 // loop, the clean-payload throughput floor, the end-to-end study engine,
 // and the zero-allocation telemetry primitives every simulation tick goes
 // through — including the trace encoder and tracer emit paths, which are
-// pinned at zero allocs/op. These are the `// lint:hotpath` surfaces.
-const defaultHeadline = "BenchmarkScanMultiSigEngine,BenchmarkScanCleanMB,BenchmarkStudyPipeline,BenchmarkCounterInc,BenchmarkHistogramObserve,BenchmarkAppendEvent,BenchmarkTracerEmit"
+// pinned at zero allocs/op — plus the filter daemon's parallel lookup
+// path (FilterLookup), which must hold millions of checks per second at
+// zero allocs/op. These are the `// lint:hotpath` surfaces.
+const defaultHeadline = "BenchmarkScanMultiSigEngine,BenchmarkScanCleanMB,BenchmarkStudyPipeline,BenchmarkCounterInc,BenchmarkHistogramObserve,BenchmarkAppendEvent,BenchmarkTracerEmit,BenchmarkFilterLookup"
 
 // delta is one benchmark's old-to-new comparison.
 type delta struct {

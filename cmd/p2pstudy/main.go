@@ -9,15 +9,22 @@
 //	p2pstudy -days 7 -faults canonical -out hostile.jsonl
 //	p2pstudy -days 2 -spans spans.jsonl -spans-wall-latency  # then p2pprof spans.jsonl
 //	p2pstudy -days 2 -profile cpu,heap -profile-dir prof
+//	p2pstudy -days 7 -filterd http://localhost:8940 -filterd-k 10
 //
 // With -metrics-addr the server also exposes net/http/pprof under
-// /debug/pprof/ for live profiling.
+// /debug/pprof/ for live profiling. With -filterd the finished study
+// trains the paper's size filter on its own trace and streams the block
+// list into a running filterd (cmd/filterd) via the daemon's /update API.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,7 +33,9 @@ import (
 	"time"
 
 	"p2pmalware/internal/core"
+	"p2pmalware/internal/dataset"
 	"p2pmalware/internal/faultsim"
+	"p2pmalware/internal/filter"
 	"p2pmalware/internal/netsim"
 	"p2pmalware/internal/obs"
 )
@@ -127,6 +136,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, and /debug/pprof on this address during the run")
 		profSpec    = flag.String("profile", "", "comma-separated runtime profiles to capture: cpu, heap, mutex")
 		profDir     = flag.String("profile-dir", ".", "directory for -profile output (cpu.pprof, heap.pprof, mutex.pprof)")
+		filterdURL  = flag.String("filterd", "", "base URL of a running filterd (e.g. http://localhost:8940); the study's trained block list is streamed to it on completion")
+		filterdK    = flag.Int("filterd-k", 10, "block-list length trained per network for -filterd (0 = every malicious size)")
 	)
 	flag.Parse()
 
@@ -229,6 +240,19 @@ func main() {
 		fmt.Printf("wrote %s (%d spans)\n", *spans, len(study.Spans()))
 	}
 
+	if *filterdURL != "" {
+		var networks []dataset.Network
+		if cfg.LimeWire != nil {
+			networks = append(networks, dataset.LimeWire)
+		}
+		if cfg.OpenFT != nil {
+			networks = append(networks, dataset.OpenFT)
+		}
+		if err := pushBlockList(*filterdURL, trace, networks, *filterdK); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *csvOut != "" {
 		cf, err := os.Create(*csvOut)
 		if err != nil {
@@ -242,4 +266,35 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csvOut)
 	}
+}
+
+// pushBlockList trains the paper's size filter on the finished trace (one
+// filter per measured network, k most common malicious sizes each) and
+// streams the union of their block lists into a running filterd via its
+// /update API — the deployment loop the ROADMAP describes: studies feed
+// the daemon, the daemon serves the verdicts.
+func pushBlockList(baseURL string, trace *dataset.Trace, networks []dataset.Network, k int) error {
+	var sizes []int64
+	for _, nw := range networks {
+		sizes = append(sizes, filter.TrainSizeFilter(trace, nw, k).Sizes()...)
+	}
+	if len(sizes) == 0 {
+		log.Print("filterd: no malicious sizes in trace, nothing to push")
+		return nil
+	}
+	body, err := json.Marshal(map[string][]int64{"add": sizes})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimSuffix(baseURL, "/")+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("filterd update: %w", err)
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("filterd update: %s: %s", resp.Status, strings.TrimSpace(string(reply)))
+	}
+	fmt.Printf("pushed %d block-list sizes to %s: %s", len(sizes), baseURL, string(reply))
+	return nil
 }

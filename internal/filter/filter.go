@@ -32,30 +32,45 @@ type Filter interface {
 }
 
 // SizeFilter blocks responses whose advertised size is on its block list.
+// The list is a sorted slice probed by binary search, so both the exact
+// and the ±Tolerance paths cost O(log k) per response and evaluate
+// deterministically. (The original map representation made the tolerance
+// path an O(k) scan whose work order followed map range order.)
 type SizeFilter struct {
-	sizes map[int64]bool
+	sizes []int64 // ascending, deduplicated
 	// Tolerance widens matching to ±Tolerance bytes (0 = exact). The
 	// ablation benches explore the false-positive cost of widening.
 	Tolerance int64
 }
 
+// NewSizeFilter builds a filter from an explicit block list (copied,
+// sorted, deduplicated) — the constructor used when the list comes from a
+// filtersvc snapshot, a config file, or another already-trained filter
+// rather than from a training trace.
+func NewSizeFilter(sizes []int64, tolerance int64) *SizeFilter {
+	s := append([]int64(nil), sizes...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	dedup := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return &SizeFilter{sizes: dedup, Tolerance: tolerance}
+}
+
 // Name implements Filter.
 func (f *SizeFilter) Name() string { return "size-based" }
 
-// Blocks implements Filter.
+// Blocks implements Filter. A response is blocked when some blocked size
+// lies within ±Tolerance of its advertised size; with Tolerance 0 the
+// binary search degenerates to exact membership.
 func (f *SizeFilter) Blocks(r *dataset.ResponseRecord) bool {
 	if !r.Downloadable {
 		return false
 	}
-	if f.Tolerance == 0 {
-		return f.sizes[r.Size]
-	}
-	for s := range f.sizes {
-		if r.Size >= s-f.Tolerance && r.Size <= s+f.Tolerance {
-			return true
-		}
-	}
-	return false
+	i := sort.Search(len(f.sizes), func(j int) bool { return f.sizes[j] >= r.Size-f.Tolerance })
+	return i < len(f.sizes) && f.sizes[i] <= r.Size+f.Tolerance
 }
 
 // NumSizes returns the block-list length.
@@ -63,12 +78,7 @@ func (f *SizeFilter) NumSizes() int { return len(f.sizes) }
 
 // Sizes returns the block list in ascending order.
 func (f *SizeFilter) Sizes() []int64 {
-	out := make([]int64, 0, len(f.sizes))
-	for s := range f.sizes {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]int64(nil), f.sizes...)
 }
 
 // TrainSizeFilter builds the paper's filter from a training trace: rank
@@ -99,11 +109,12 @@ func TrainSizeFilter(train *dataset.Trace, nw dataset.Network, k int) *SizeFilte
 	if k > 0 && k < len(ranked) {
 		ranked = ranked[:k]
 	}
-	f := &SizeFilter{sizes: make(map[int64]bool, len(ranked))}
+	sizes := make([]int64, 0, len(ranked))
 	for _, e := range ranked {
-		f.sizes[e.size] = true
+		sizes = append(sizes, e.size)
 	}
-	return f
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return &SizeFilter{sizes: sizes}
 }
 
 // BuiltinFilter models LimeWire's existing protection mechanisms: blocking

@@ -1,0 +1,245 @@
+// Differential tests: the batch library (filter.SizeFilter) and the
+// service snapshot (filtersvc.Snapshot) implement the same verdict
+// function twice — a map-turned-slice probed per record offline versus a
+// sharded immutable structure served at millions of QPS. These tests
+// prove, on randomized traces and for every (k, tolerance) combination,
+// that the two can never disagree: the verdict vectors must be
+// byte-identical, including while snapshots are being swapped under the
+// readers (run with -race in CI).
+package filtersvc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pmalware/internal/dataset"
+	"p2pmalware/internal/filter"
+)
+
+// randomTrace synthesizes a labelled trace shaped like the study's real
+// output: malware clustered on a few characteristic sizes (with small
+// jitter, so tolerance bands have something to catch), clean files spread
+// wide, a sprinkling of adversarial sizes directly adjacent to malware
+// sizes, and a mix of downloadable/non-downloadable responses.
+func randomTrace(rng *rand.Rand, records int) *dataset.Trace {
+	tr := dataset.NewTrace()
+	base := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	nFamilies := 3 + rng.Intn(6)
+	famSizes := make([]int64, nFamilies)
+	for i := range famSizes {
+		famSizes[i] = 1000 + rng.Int63n(50_000_000)
+	}
+	for i := 0; i < records; i++ {
+		r := dataset.ResponseRecord{
+			Time:         base.Add(time.Duration(i) * time.Minute),
+			Network:      dataset.LimeWire,
+			SourceIP:     "5.9.0.1",
+			SourceClass:  "public",
+			Downloadable: rng.Intn(10) > 0, // ~10% non-downloadable
+			Downloaded:   true,
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // malware at (or jittered near) a family size
+			fam := rng.Intn(nFamilies)
+			r.Malware = fmt.Sprintf("Fam%d", fam)
+			r.Size = famSizes[fam]
+			if rng.Intn(4) == 0 {
+				r.Size += rng.Int63n(2049) - 1024
+				if r.Size < 0 {
+					r.Size = 0
+				}
+			}
+			r.Filename = "m.exe"
+			r.BodyHash = fmt.Sprintf("h-%s-%d", r.Malware, r.Size)
+		case 4: // adversarial clean file right next to a malware size
+			fam := rng.Intn(nFamilies)
+			r.Size = famSizes[fam] + rng.Int63n(5) - 2
+			if r.Size < 0 {
+				r.Size = 0
+			}
+			r.Filename = "near.exe"
+			r.BodyHash = fmt.Sprintf("clean-%d", i)
+		default: // clean file, broad size range
+			r.Size = rng.Int63n(100_000_000)
+			r.Filename = "clean.exe"
+			r.BodyHash = fmt.Sprintf("clean-%d", i)
+		}
+		tr.Add(r)
+	}
+	return tr
+}
+
+// verdictVector runs every record through a predicate and packs the
+// verdicts into one byte slice ('B'/'A'), the unit of comparison.
+func verdictVector(tr *dataset.Trace, blocks func(r *dataset.ResponseRecord) bool) []byte {
+	out := make([]byte, len(tr.Records))
+	for i := range tr.Records {
+		if blocks(&tr.Records[i]) {
+			out[i] = 'B'
+		} else {
+			out[i] = 'A'
+		}
+	}
+	return out
+}
+
+// TestDifferentialVerdictParity trains the batch filter for every
+// (k, tolerance) combination over several random seeds and demands a
+// byte-identical verdict vector from the snapshot built via the service's
+// bulk-load path.
+func TestDifferentialVerdictParity(t *testing.T) {
+	ks := []int{0, 1, 2, 3, 5, 10, 50}
+	tolerances := []int64{0, 1, 64, 1024, 100_000}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 2000)
+		for _, k := range ks {
+			for _, tol := range tolerances {
+				batch := filter.TrainSizeFilter(tr, dataset.LimeWire, k)
+				batch.Tolerance = tol
+
+				svc := newTestService()
+				svc.Replace(batch.Sizes(), tol)
+				snap := svc.Current()
+
+				want := verdictVector(tr, batch.Blocks)
+				got := verdictVector(tr, func(r *dataset.ResponseRecord) bool {
+					return snap.Blocks(r.Size, r.Downloadable)
+				})
+				if !bytes.Equal(want, got) {
+					i := firstDiff(want, got)
+					r := &tr.Records[i]
+					t.Fatalf("seed %d k=%d tol=%d: verdicts diverge at record %d (size=%d downloadable=%v): batch=%c svc=%c",
+						seed, k, tol, i, r.Size, r.Downloadable, want[i], got[i])
+				}
+
+				// The service Check path (metrics included) must agree
+				// with the pinned snapshot it reads.
+				got2 := verdictVector(tr, func(r *dataset.ResponseRecord) bool {
+					return svc.Check(r.Size, r.Downloadable)
+				})
+				if !bytes.Equal(want, got2) {
+					t.Fatalf("seed %d k=%d tol=%d: Service.Check diverges from batch filter", seed, k, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialParityUnderConcurrentSwaps streams a randomized trace
+// through pinned snapshots while a writer swaps between two trained
+// filters mid-stream. Each reader pins a snapshot per chunk, identifies
+// which trained filter that version corresponds to, and demands a
+// byte-identical verdict vector for the chunk. Run under -race, this is
+// simultaneously the parity proof and the atomic-swap memory-safety
+// proof.
+func TestDifferentialParityUnderConcurrentSwaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := randomTrace(rng, 4000)
+
+	filterA := filter.TrainSizeFilter(tr, dataset.LimeWire, 3)
+	filterB := filter.TrainSizeFilter(tr, dataset.LimeWire, 25)
+	filterB.Tolerance = 512
+	wantA := verdictVector(tr, filterA.Blocks)
+	wantB := verdictVector(tr, filterB.Blocks)
+
+	svc := newTestService()
+	svc.Replace(filterA.Sizes(), 0) // version 1 = A; odd = A, even = B
+
+	done := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				svc.Replace(filterB.Sizes(), filterB.Tolerance)
+			} else {
+				svc.Replace(filterA.Sizes(), 0)
+			}
+		}
+	}()
+
+	const chunk = 200
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			got := make([]byte, chunk)
+			for pass := 0; pass < 20; pass++ {
+				for off := 0; off+chunk <= len(tr.Records); off += chunk {
+					snap := svc.Current() // pin mid-stream
+					want := wantA
+					if snap.Version()%2 == 0 {
+						want = wantB
+					}
+					for i := 0; i < chunk; i++ {
+						r := &tr.Records[off+i]
+						if snap.Blocks(r.Size, r.Downloadable) {
+							got[i] = 'B'
+						} else {
+							got[i] = 'A'
+						}
+					}
+					if !bytes.Equal(got, want[off:off+chunk]) {
+						t.Errorf("version %d chunk %d: verdicts diverge from that version's batch filter", snap.Version(), off/chunk)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(done)
+	writer.Wait()
+}
+
+// TestLineProtocolVerdictParity closes the loop across the wire: the
+// verdict vector read back over a line-protocol connection must equal the
+// batch filter's, byte for byte.
+func TestLineProtocolVerdictParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomTrace(rng, 1500)
+	batch := filter.TrainSizeFilter(tr, dataset.LimeWire, 10)
+	want := verdictVector(tr, batch.Blocks)
+
+	svc := newTestService()
+	svc.Replace(batch.Sizes(), 0)
+	srv, conn := startLineServer(t, svc)
+	defer srv.Close()
+
+	// Pipeline the whole trace, then read all verdicts back.
+	var req []byte
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		req = AppendCheckLine(req, r.Size, r.Downloadable)
+		req = append(req, '\n')
+	}
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	got := readVerdicts(t, conn, len(tr.Records))
+	if !bytes.Equal(want, got) {
+		t.Fatalf("line-protocol verdicts diverge from batch filter at record %d", firstDiff(want, got))
+	}
+}
+
+// firstDiff returns the first index where a and b differ.
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return len(a)
+}

@@ -1,0 +1,252 @@
+package filtersvc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"p2pmalware/internal/obs"
+)
+
+func newTestService() *Service { return New(obs.NewRegistry()) }
+
+func TestEmptySnapshotAllowsEverything(t *testing.T) {
+	svc := newTestService()
+	snap := svc.Current()
+	if snap.Version() != 0 || snap.NumSizes() != 0 {
+		t.Fatalf("fresh service snapshot = v%d, %d sizes", snap.Version(), snap.NumSizes())
+	}
+	for _, size := range []int64{0, 1, 184342, 1 << 62} {
+		if svc.Check(size, true) {
+			t.Fatalf("empty block list blocked size %d", size)
+		}
+	}
+}
+
+func TestExactLookupFindsEverySizeAndNothingElse(t *testing.T) {
+	// Enough sizes to force multiple shards (shardCount targets ~8 per
+	// bucket), with adjacent values to catch off-by-one in the bucket
+	// binary search.
+	rng := rand.New(rand.NewSource(7))
+	sizes := make([]int64, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		v := rng.Int63n(1 << 40)
+		sizes = append(sizes, v, v+1, v+7919)
+	}
+	svc := newTestService()
+	svc.Replace(sizes, 0)
+	snap := svc.Current()
+	if len(snap.shards) < 2 {
+		t.Fatalf("expected multiple shards for %d sizes, got %d", snap.NumSizes(), len(snap.shards))
+	}
+	for _, v := range sizes {
+		if !snap.Blocks(v, true) {
+			t.Fatalf("blocked size %d not found", v)
+		}
+		if snap.Blocks(v, false) {
+			t.Fatalf("non-downloadable response blocked at size %d", v)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 40)
+		want := false
+		for _, s := range sizes {
+			if s == v {
+				want = true
+				break
+			}
+		}
+		if snap.Blocks(v, true) != want {
+			t.Fatalf("size %d: got %v, want %v", v, !want, want)
+		}
+	}
+}
+
+func TestToleranceBand(t *testing.T) {
+	svc := newTestService()
+	svc.Replace([]int64{1000, 5000}, 0)
+	svc.SetTolerance(24)
+	snap := svc.Current()
+	cases := []struct {
+		size int64
+		want bool
+	}{
+		{975, false}, {976, true}, {1000, true}, {1024, true}, {1025, false},
+		{4976, true}, {5024, true}, {5025, false}, {3000, false}, {0, false},
+	}
+	for _, c := range cases {
+		if got := snap.Blocks(c.size, true); got != c.want {
+			t.Errorf("tolerance 24, size %d: got %v, want %v", c.size, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotLifecycle(t *testing.T) {
+	svc := newTestService()
+	if v := svc.Add(100, 200); v != 1 {
+		t.Fatalf("first update version = %d, want 1", v)
+	}
+	pinned := svc.Current() // version 1: {100, 200}
+
+	if v := svc.Add(300); v != 2 {
+		t.Fatalf("second update version = %d, want 2", v)
+	}
+	if v := svc.Remove(100); v != 3 {
+		t.Fatalf("third update version = %d, want 3", v)
+	}
+
+	// The pinned version-1 snapshot still serves version 1's list: 100 is
+	// blocked (removed only in v3), 300 is unknown (added only in v2).
+	if pinned.Version() != 1 {
+		t.Fatalf("pinned version = %d", pinned.Version())
+	}
+	if !pinned.Blocks(100, true) || pinned.Blocks(300, true) {
+		t.Fatal("pinned snapshot does not serve version-1 block list")
+	}
+
+	// The live snapshot serves version 3's list.
+	live := svc.Current()
+	if live.Version() != 3 {
+		t.Fatalf("live version = %d", live.Version())
+	}
+	if live.Blocks(100, true) || !live.Blocks(200, true) || !live.Blocks(300, true) {
+		t.Fatalf("live snapshot block list wrong: %v", live.Sizes())
+	}
+}
+
+// TestPinnedReaderSeesConsistentListDuringSwaps is the snapshot
+// lifecycle's concurrency half: readers pin version N and verify every
+// lookup agrees with exactly N's list while a writer goroutine installs
+// N+1, N+2, ... under them. Run with -race.
+func TestPinnedReaderSeesConsistentListDuringSwaps(t *testing.T) {
+	// Two disjoint block lists; a torn snapshot would answer a mix.
+	listA := []int64{100, 300, 500, 700, 900}
+	listB := []int64{200, 400, 600, 800}
+	probe := []int64{100, 200, 300, 400, 500, 600, 700, 800, 900}
+
+	svc := newTestService()
+	svc.Replace(listA, 0) // version 1 = A; even versions = B, odd = A
+	done := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				svc.Replace(listB, 0)
+			} else {
+				svc.Replace(listA, 0)
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 2000; i++ {
+				snap := svc.Current()
+				want := listA
+				if snap.Version()%2 == 0 {
+					want = listB
+				}
+				inWant := make(map[int64]bool, len(want))
+				for _, v := range want {
+					inWant[v] = true
+				}
+				for _, p := range probe {
+					if snap.Blocks(p, true) != inWant[p] {
+						t.Errorf("version %d: size %d verdict inconsistent with its list", snap.Version(), p)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(done)
+	writer.Wait()
+}
+
+func TestCheckZeroAlloc(t *testing.T) {
+	svc := newTestService()
+	sizes := make([]int64, 500)
+	for i := range sizes {
+		sizes[i] = int64(i * 7919)
+	}
+	svc.Replace(sizes, 0)
+	probes := []int64{0, 7919, 123456, 500 * 7919, 1 << 50}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		svc.Check(probes[i%len(probes)], true)
+		i++
+	}); n != 0 {
+		t.Fatalf("Check (exact) allocates %v per run, want 0", n)
+	}
+	svc.SetTolerance(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		svc.Check(probes[i%len(probes)], true)
+		i++
+	}); n != 0 {
+		t.Fatalf("Check (tolerance) allocates %v per run, want 0", n)
+	}
+}
+
+func TestMetricsCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := New(reg)
+	svc.Replace([]int64{42}, 0)
+	svc.Check(42, true)  // block
+	svc.Check(43, true)  // allow
+	svc.Check(42, false) // allow (not downloadable)
+	snap := reg.Snapshot()
+	if got := snap.Counter("filtersvc_checks_total"); got != 3 {
+		t.Errorf("checks = %d, want 3", got)
+	}
+	if got := snap.Counter("filtersvc_verdicts_total", "verdict", "block"); got != 1 {
+		t.Errorf("blocked = %d, want 1", got)
+	}
+	if got := snap.Counter("filtersvc_verdicts_total", "verdict", "allow"); got != 2 {
+		t.Errorf("allowed = %d, want 2", got)
+	}
+	if got := snap.Gauge("filtersvc_snapshot_version"); got != 1 {
+		t.Errorf("version gauge = %d, want 1", got)
+	}
+	if got := snap.Gauge("filtersvc_blocklist_sizes"); got != 1 {
+		t.Errorf("sizes gauge = %d, want 1", got)
+	}
+	st := svc.Stats()
+	if st.Checks != 3 || st.Blocked != 1 || st.Allowed != 2 || st.Version != 1 || st.Sizes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRemoveAndDuplicates(t *testing.T) {
+	svc := newTestService()
+	svc.Add(5, 5, 3, 3, 1)
+	snap := svc.Current()
+	if got := snap.Sizes(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("deduplicated sizes = %v", got)
+	}
+	svc.Remove(3, 99) // 99 absent: no-op
+	if got := svc.Current().Sizes(); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("after remove: %v", got)
+	}
+}
+
+func TestShardCount(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {7, 1}, {8, 1}, {9, 2}, {100, 16}, {10000, 256}, {1 << 20, 256},
+	}
+	for _, c := range cases {
+		if got := shardCount(c.n); got != c.want {
+			t.Errorf("shardCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

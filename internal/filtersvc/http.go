@@ -1,0 +1,186 @@
+// HTTP surface: the daemon's per-request check API and its control
+// plane. Three endpoints, all JSON:
+//
+//	GET  /check?size=N[&downloadable=0|1]   -> {"verdict":"block","version":7}
+//	POST /update  {"add":[...],"remove":[...],"replace":[...],"tolerance":T}
+//	                                        -> {"version":8,"sizes":412,"tolerance":0}
+//	GET  /status                            -> filtersvc.Stats
+//
+// /check defaults downloadable to true (a caller consulting the filter is
+// about to download). /update applies "replace" first when present
+// (swapping the whole list), otherwise "add" then "remove"; "tolerance"
+// is applied when the field is present. Every mutation publishes exactly
+// one new snapshot version, returned in the response.
+package filtersvc
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// MaxUpdateBody caps an /update request body; a full block list is a few
+// thousand sizes, so 4 MiB is generous and bounds a hostile client.
+const MaxUpdateBody = 4 << 20
+
+// checkResponse is the /check reply.
+type checkResponse struct {
+	Verdict string `json:"verdict"` // "block" or "allow"
+	Version uint64 `json:"version"`
+}
+
+// updateRequest is the /update body. Pointer fields distinguish "absent"
+// from zero values.
+type updateRequest struct {
+	Add       []int64  `json:"add,omitempty"`
+	Remove    []int64  `json:"remove,omitempty"`
+	Replace   *[]int64 `json:"replace,omitempty"`
+	Tolerance *int64   `json:"tolerance,omitempty"`
+}
+
+// updateResponse is the /update reply: the snapshot version the mutation
+// published and the resulting list coordinates.
+type updateResponse struct {
+	Version   uint64 `json:"version"`
+	Sizes     int    `json:"sizes"`
+	Tolerance int64  `json:"tolerance"`
+}
+
+// Handler returns the service's HTTP API. Metrics live on the separate
+// obs server (cmd/filterd -metrics-addr), keeping this mux only about
+// verdicts and updates.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/check", s.handleCheck)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/status", s.handleStatus)
+	return mux
+}
+
+func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	size, err := strconv.ParseInt(q.Get("size"), 10, 64)
+	if err != nil || size < 0 {
+		http.Error(w, "bad size: want a non-negative decimal int64", http.StatusBadRequest)
+		return
+	}
+	downloadable := true
+	if d := q.Get("downloadable"); d != "" {
+		downloadable, err = strconv.ParseBool(d)
+		if err != nil {
+			http.Error(w, "bad downloadable: want a boolean", http.StatusBadRequest)
+			return
+		}
+	}
+	snap := s.Current()
+	resp := checkResponse{Verdict: "allow", Version: snap.Version()}
+	if snap.Blocks(size, downloadable) {
+		resp.Verdict = "block"
+	}
+	// Count through Check's counters without re-running the lookup.
+	s.checks.Inc()
+	if resp.Verdict == "block" {
+		s.blocked.Inc()
+	} else {
+		s.allowed.Inc()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxUpdateBody+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > MaxUpdateBody {
+		http.Error(w, "body exceeds 4 MiB", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var req updateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := validateUpdate(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.applyUpdate(&req)
+	st := s.Stats()
+	writeJSON(w, updateResponse{Version: st.Version, Sizes: st.Sizes, Tolerance: st.Tolerance})
+}
+
+// errEmptyUpdate rejects an /update that would publish a snapshot
+// identical in intent to the current one by accident.
+var errEmptyUpdate = errors.New("empty update: provide add, remove, replace, or tolerance")
+
+// validateUpdate rejects no-op and nonsensical update bodies.
+func validateUpdate(req *updateRequest) error {
+	if len(req.Add) == 0 && len(req.Remove) == 0 && req.Replace == nil && req.Tolerance == nil {
+		return errEmptyUpdate
+	}
+	if req.Tolerance != nil && *req.Tolerance < 0 {
+		return errors.New("tolerance must be non-negative")
+	}
+	for _, batch := range [][]int64{req.Add, req.Remove} {
+		for _, v := range batch {
+			if v < 0 {
+				return errors.New("sizes must be non-negative")
+			}
+		}
+	}
+	if req.Replace != nil {
+		for _, v := range *req.Replace {
+			if v < 0 {
+				return errors.New("sizes must be non-negative")
+			}
+		}
+	}
+	return nil
+}
+
+// applyUpdate folds one update body into the master state under a single
+// lock hold, publishing exactly one new snapshot version per request.
+func (s *Service) applyUpdate(req *updateRequest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Replace != nil {
+		s.sizes = mergeSizes(nil, *req.Replace)
+	}
+	if len(req.Add) > 0 {
+		s.sizes = mergeSizes(s.sizes, req.Add)
+	}
+	if len(req.Remove) > 0 {
+		s.removeLocked(req.Remove)
+	}
+	if req.Tolerance != nil {
+		s.tolerance = *req.Tolerance
+	}
+	s.installLocked()
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.Stats())
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,143 @@
+package filtersvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPCheckUpdateStatus(t *testing.T) {
+	svc := newTestService()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	checkVerdict := func(query, want string, wantVersion uint64) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/check?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/check?%s status = %d", query, resp.StatusCode)
+		}
+		var cr checkResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Verdict != want || cr.Version != wantVersion {
+			t.Fatalf("/check?%s = %+v, want verdict=%s version=%d", query, cr, want, wantVersion)
+		}
+	}
+
+	post := func(body string) (int, updateResponse) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ur updateResponse
+		json.NewDecoder(resp.Body).Decode(&ur)
+		return resp.StatusCode, ur
+	}
+
+	checkVerdict("size=184342", "allow", 0)
+
+	if code, ur := post(`{"add":[184342,232960]}`); code != http.StatusOK || ur.Version != 1 || ur.Sizes != 2 {
+		t.Fatalf("update 1: code=%d resp=%+v", code, ur)
+	}
+	checkVerdict("size=184342", "block", 1)
+	checkVerdict("size=184342&downloadable=0", "allow", 1)
+	checkVerdict("size=184343", "allow", 1)
+
+	if code, ur := post(`{"tolerance":10}`); code != http.StatusOK || ur.Version != 2 || ur.Tolerance != 10 {
+		t.Fatalf("update 2: code=%d resp=%+v", code, ur)
+	}
+	checkVerdict("size=184343", "block", 2)
+
+	if code, ur := post(`{"replace":[5000],"tolerance":0}`); code != http.StatusOK || ur.Version != 3 || ur.Sizes != 1 {
+		t.Fatalf("update 3: code=%d resp=%+v", code, ur)
+	}
+	checkVerdict("size=184342", "allow", 3)
+	checkVerdict("size=5000", "block", 3)
+
+	if code, ur := post(`{"remove":[5000]}`); code != http.StatusOK || ur.Version != 4 || ur.Sizes != 0 {
+		t.Fatalf("update 4: code=%d resp=%+v", code, ur)
+	}
+
+	// Status reflects the traffic above.
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 4 || st.Updates != 4 || st.Checks != 7 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestHTTPRejectsBadRequests(t *testing.T) {
+	svc := newTestService()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/check", "", http.StatusBadRequest},                           // missing size
+		{"GET", "/check?size=abc", "", http.StatusBadRequest},                  // non-numeric
+		{"GET", "/check?size=-1", "", http.StatusBadRequest},                   // negative
+		{"GET", "/check?size=5&downloadable=maybe", "", http.StatusBadRequest}, // bad bool
+		{"POST", "/check?size=5", "", http.StatusMethodNotAllowed},             // wrong method
+		{"GET", "/update", "", http.StatusMethodNotAllowed},                    // wrong method
+		{"POST", "/update", "{not json", http.StatusBadRequest},                // bad JSON
+		{"POST", "/update", "{}", http.StatusBadRequest},                       // empty update
+		{"POST", "/update", `{"add":[-4]}`, http.StatusBadRequest},             // negative size
+		{"POST", "/update", `{"replace":[-4]}`, http.StatusBadRequest},         // negative size
+		{"POST", "/update", `{"tolerance":-1}`, http.StatusBadRequest},         // negative tolerance
+		{"POST", "/status", "", http.StatusMethodNotAllowed},                   // wrong method
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s (%q): status %d, want %d", c.method, c.path, c.body, resp.StatusCode, c.want)
+		}
+	}
+
+	// No bad request published a snapshot.
+	if v := svc.Current().Version(); v != 0 {
+		t.Fatalf("bad requests advanced version to %d", v)
+	}
+}
+
+func TestHTTPUpdateBodyLimit(t *testing.T) {
+	svc := newTestService()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	big := strings.NewReader(`{"add":[` + strings.Repeat("1,", MaxUpdateBody/2) + `1]}`)
+	resp, err := http.Post(srv.URL+"/update", "application/json", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized update status = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}

@@ -1,0 +1,251 @@
+// Line protocol: the daemon's bulk-check surface. One request per
+// newline-terminated line, one response line per request, answered in
+// order, so a client can pipeline an entire trace through a single
+// connection:
+//
+//	request  := size [" nd"]        e.g. "184342" or "184342 nd"
+//	response := "block" | "allow" | "err <reason>"
+//
+// The size is an unsigned decimal int64 (the advertised response size);
+// the optional "nd" flag marks the response non-downloadable, which the
+// size filter always allows — the same semantics as
+// dataset.ResponseRecord.Downloadable in the batch library. A trailing
+// "\r" is tolerated so `printf 'size\r\n' | nc` works. Malformed lines
+// get an "err" response and the connection stays usable (resynchronizing
+// at the next newline); a line longer than MaxCheckLine aborts the
+// connection, because the stream offset can no longer be trusted.
+package filtersvc
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// MaxCheckLine is the longest request line the daemon accepts, in bytes
+// and excluding the newline: 19 digits of int64, the flag, and slack.
+// It bounds the per-connection read buffer no matter what a peer sends.
+const MaxCheckLine = 64
+
+// Line-protocol parse failures. They are values (not fmt.Errorf) so the
+// per-line error path does not allocate a new error per malformed line.
+var (
+	// ErrEmptyLine rejects "" (and bare "\r").
+	ErrEmptyLine = errors.New("empty line")
+	// ErrLineTooLong rejects lines over MaxCheckLine bytes.
+	ErrLineTooLong = errors.New("line exceeds 64 bytes")
+	// ErrBadSize rejects a missing, non-decimal, or signed size field.
+	ErrBadSize = errors.New("malformed size")
+	// ErrSizeOverflow rejects sizes that do not fit in an int64.
+	ErrSizeOverflow = errors.New("size overflows int64")
+	// ErrBadFlag rejects trailing bytes other than a single " nd" flag.
+	ErrBadFlag = errors.New("malformed flag (want \"nd\")")
+)
+
+// ParseCheckLine parses one request line (without its trailing newline,
+// tolerating one trailing carriage return). It never allocates and never
+// panics regardless of input — FuzzCheckLine holds it to that — and
+// rejects NUL and every other byte outside the grammar via ErrBadSize /
+// ErrBadFlag.
+func ParseCheckLine(line []byte) (size int64, downloadable bool, err error) {
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	if len(line) == 0 {
+		return 0, false, ErrEmptyLine
+	}
+	if len(line) > MaxCheckLine {
+		return 0, false, ErrLineTooLong
+	}
+	i := 0
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		d := int64(line[i] - '0')
+		if size > (1<<63-1-d)/10 {
+			return 0, false, ErrSizeOverflow
+		}
+		size = size*10 + d
+		i++
+	}
+	if i == 0 {
+		return 0, false, ErrBadSize
+	}
+	if i == len(line) {
+		return size, true, nil
+	}
+	if line[i] != ' ' {
+		return 0, false, ErrBadSize
+	}
+	rest := line[i+1:]
+	if len(rest) != 2 || rest[0] != 'n' || rest[1] != 'd' {
+		return 0, false, ErrBadFlag
+	}
+	return size, false, nil
+}
+
+// Canned response lines. Byte slices, not strings, so the write path
+// never converts.
+var (
+	respBlock = []byte("block\n")
+	respAllow = []byte("allow\n")
+	errPrefix = []byte("err ")
+)
+
+// LineServer serves the line protocol on one listener: an accept loop
+// plus one goroutine per connection, all exiting when Close tears the
+// listener and the live connections down.
+type LineServer struct {
+	svc *Service
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool // guarded by mu — live connections, closed by Close
+	done  bool              // guarded by mu — Close has run; reject new conns
+
+	wg sync.WaitGroup
+}
+
+// ServeLine starts serving svc's verdicts over ln and returns
+// immediately; Close shuts the server down and waits for its goroutines.
+func ServeLine(ln net.Listener, svc *Service) *LineServer {
+	s := &LineServer{svc: svc, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *LineServer) Addr() string { return s.ln.Addr().String() }
+
+// acceptLoop accepts until the listener closes; Accept returns an error
+// once Close tears the listener down, which is the loop's exit path.
+func (s *LineServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// track registers a live connection, refusing when the server is already
+// closing (the racing accept between ln.Close and conns teardown).
+func (s *LineServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return false
+	}
+	s.conns[c] = true
+	return true
+}
+
+// untrack removes and closes a finished connection.
+func (s *LineServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// serveConn answers request lines until the peer disconnects, a line
+// overflows MaxCheckLine, or Close closes the connection underneath us.
+// Responses are coalesced: the writer flushes only when the reader has no
+// buffered pipelined request left, so a bulk client pays one syscall per
+// burst, not per line.
+func (s *LineServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(c)
+	br := bufio.NewReaderSize(c, 4096)
+	bw := bufio.NewWriterSize(c, 4096)
+	var numBuf [MaxCheckLine]byte
+	for {
+		line, err := readBoundedLine(br, numBuf[:0])
+		if err != nil {
+			if errors.Is(err, errLineOverflow) {
+				bw.Write(errPrefix)
+				bw.WriteString(ErrLineTooLong.Error())
+				bw.WriteByte('\n')
+				bw.Flush()
+			}
+			return
+		}
+		size, downloadable, perr := ParseCheckLine(line)
+		switch {
+		case perr != nil:
+			bw.Write(errPrefix)
+			bw.WriteString(perr.Error())
+			bw.WriteByte('\n')
+		case s.svc.Check(size, downloadable):
+			bw.Write(respBlock)
+		default:
+			bw.Write(respAllow)
+		}
+		if br.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// errLineOverflow distinguishes an over-length line (protocol abuse, the
+// connection is torn down after one "err" response) from a plain EOF.
+var errLineOverflow = errors.New("filtersvc: line too long")
+
+// readBoundedLine reads one newline-terminated line into buf, which must
+// have capacity MaxCheckLine. Reading stops with errLineOverflow the
+// moment the line exceeds the cap, so a peer streaming an unbounded line
+// cannot grow our buffers.
+func readBoundedLine(br *bufio.Reader, buf []byte) ([]byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(buf) > 0 {
+				return buf, nil
+			}
+			return nil, err
+		}
+		if b == '\n' {
+			return buf, nil
+		}
+		if len(buf) >= MaxCheckLine {
+			return nil, errLineOverflow
+		}
+		buf = append(buf, b)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for all
+// server goroutines to exit.
+func (s *LineServer) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.done = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// AppendCheckLine formats a request line for (size, downloadable) into
+// dst — the client-side inverse of ParseCheckLine, used by the
+// differential tests and the fuzz round-trip property.
+func AppendCheckLine(dst []byte, size int64, downloadable bool) []byte {
+	dst = strconv.AppendInt(dst, size, 10)
+	if !downloadable {
+		dst = append(dst, " nd"...)
+	}
+	return dst
+}

@@ -1,0 +1,247 @@
+package filtersvc
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestParseCheckLine(t *testing.T) {
+	cases := []struct {
+		line         string
+		size         int64
+		downloadable bool
+		err          error
+	}{
+		{"184342", 184342, true, nil},
+		{"184342 nd", 184342, false, nil},
+		{"0", 0, true, nil},
+		{"0012", 12, true, nil},
+		{"9223372036854775807", 1<<63 - 1, true, nil},
+		{"184342\r", 184342, true, nil}, // CRLF client
+		{"", 0, false, ErrEmptyLine},
+		{"\r", 0, false, ErrEmptyLine},
+		{"9223372036854775808", 0, false, ErrSizeOverflow},
+		{"99999999999999999999999", 0, false, ErrSizeOverflow},
+		{"-5", 0, false, ErrBadSize},
+		{"+5", 0, false, ErrBadSize},
+		{"abc", 0, false, ErrBadSize},
+		{" 5", 0, false, ErrBadSize},
+		{"5x", 0, false, ErrBadSize},
+		{"5\x00", 0, false, ErrBadSize},
+		{"5 \x00d", 0, false, ErrBadFlag},
+		{"5 n", 0, false, ErrBadFlag},
+		{"5 ndx", 0, false, ErrBadFlag},
+		{"5 nd ", 0, false, ErrBadFlag},
+		{"5  nd", 0, false, ErrBadFlag},
+		{strings.Repeat("1", MaxCheckLine+1), 0, false, ErrLineTooLong},
+	}
+	for _, c := range cases {
+		size, downloadable, err := ParseCheckLine([]byte(c.line))
+		if size != c.size || downloadable != c.downloadable || err != c.err {
+			t.Errorf("ParseCheckLine(%q) = (%d, %v, %v), want (%d, %v, %v)",
+				c.line, size, downloadable, err, c.size, c.downloadable, c.err)
+		}
+	}
+}
+
+func TestParseCheckLineZeroAlloc(t *testing.T) {
+	lines := [][]byte{
+		[]byte("184342"),
+		[]byte("184342 nd"),
+		[]byte("not a size"),
+		[]byte(""),
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		ParseCheckLine(lines[i%len(lines)])
+		i++
+	}); n != 0 {
+		t.Fatalf("ParseCheckLine allocates %v per run, want 0", n)
+	}
+}
+
+// FuzzCheckLine holds the line-protocol parser to its contract on
+// arbitrary bytes: never panic, reject NULs and oversized lines, and
+// round-trip every accepted line through AppendCheckLine to the same
+// (size, downloadable) pair.
+func FuzzCheckLine(f *testing.F) {
+	f.Add([]byte("184342"))
+	f.Add([]byte("184342 nd"))
+	f.Add([]byte("0"))
+	f.Add([]byte("9223372036854775807"))
+	f.Add([]byte("9223372036854775808"))
+	f.Add([]byte(""))
+	f.Add([]byte("\r"))
+	f.Add([]byte("-1"))
+	f.Add([]byte("5 nd extra"))
+	f.Add([]byte("5\x00nd"))
+	f.Add([]byte("\x00"))
+	f.Add(bytes.Repeat([]byte("9"), MaxCheckLine+7))
+	f.Add([]byte("00000000000000000000000000001"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		size, downloadable, err := ParseCheckLine(line)
+		if err != nil {
+			if size != 0 || downloadable {
+				t.Fatalf("ParseCheckLine(%q) errored with non-zero results (%d, %v)", line, size, downloadable)
+			}
+			return
+		}
+		if size < 0 {
+			t.Fatalf("ParseCheckLine(%q) accepted negative size %d", line, size)
+		}
+		if bytes.IndexByte(line, 0) >= 0 {
+			t.Fatalf("ParseCheckLine(%q) accepted a NUL byte", line)
+		}
+		// Accepted lines fit the bound even with a trailing \r.
+		if len(line) > MaxCheckLine+1 {
+			t.Fatalf("ParseCheckLine accepted %d-byte line", len(line))
+		}
+		// Round-trip: the canonical serialization parses to the same pair.
+		canon := AppendCheckLine(nil, size, downloadable)
+		size2, downloadable2, err2 := ParseCheckLine(canon)
+		if err2 != nil || size2 != size || downloadable2 != downloadable {
+			t.Fatalf("round-trip of %q via %q = (%d, %v, %v), want (%d, %v, nil)",
+				line, canon, size2, downloadable2, err2, size, downloadable)
+		}
+	})
+}
+
+// startLineServer binds an ephemeral TCP listener serving svc and returns
+// the server plus one connected client.
+func startLineServer(t *testing.T, svc *Service) (*LineServer, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeLine(ln, svc)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return srv, conn
+}
+
+// readVerdicts reads n response lines and packs them into a 'B'/'A'
+// vector, failing the test on any "err" response.
+func readVerdicts(t *testing.T, conn net.Conn, n int) []byte {
+	t.Helper()
+	out := make([]byte, 0, n)
+	br := bufio.NewReader(conn)
+	for i := 0; i < n; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response %d/%d: %v", i, n, err)
+		}
+		switch strings.TrimSuffix(line, "\n") {
+		case "block":
+			out = append(out, 'B')
+		case "allow":
+			out = append(out, 'A')
+		default:
+			t.Fatalf("response %d: unexpected %q", i, line)
+		}
+	}
+	return out
+}
+
+func TestLineServerBasics(t *testing.T) {
+	svc := newTestService()
+	svc.Replace([]int64{184342, 232960}, 0)
+	srv, conn := startLineServer(t, svc)
+	defer srv.Close()
+
+	req := "184342\n184342 nd\n90000\nbogus\n232960\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	want := []string{"block", "allow", "allow", "err malformed size", "block"}
+	for i, w := range want {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if got := strings.TrimSuffix(line, "\n"); got != w {
+			t.Fatalf("response %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestLineServerClosesOnOverlongLine(t *testing.T) {
+	svc := newTestService()
+	srv, conn := startLineServer(t, svc)
+	defer srv.Close()
+
+	long := append(bytes.Repeat([]byte("1"), MaxCheckLine+40), '\n')
+	if _, err := conn.Write(long); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("want one err response before close, got %v", err)
+	}
+	if !strings.HasPrefix(line, "err ") {
+		t.Fatalf("response = %q, want err", line)
+	}
+	// The connection must now be closed by the server.
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after overlong line")
+	}
+}
+
+func TestLineServerCloseUnblocksClients(t *testing.T) {
+	svc := newTestService()
+	srv, conn := startLineServer(t, svc)
+	if _, err := conn.Write([]byte("5\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	// Close with an idle connected client: must not hang.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("connection survived server close")
+	}
+}
+
+func TestLineServerSeesSnapshotUpdatesMidConnection(t *testing.T) {
+	svc := newTestService()
+	srv, conn := startLineServer(t, svc)
+	defer srv.Close()
+	br := bufio.NewReader(conn)
+
+	ask := func(req string) string {
+		t.Helper()
+		if _, err := conn.Write([]byte(req + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSuffix(line, "\n")
+	}
+
+	if got := ask("4242"); got != "allow" {
+		t.Fatalf("before update: %q", got)
+	}
+	svc.Add(4242)
+	if got := ask("4242"); got != "block" {
+		t.Fatalf("after update: %q", got)
+	}
+	svc.Remove(4242)
+	if got := ask("4242"); got != "allow" {
+		t.Fatalf("after removal: %q", got)
+	}
+}

@@ -230,6 +230,7 @@ var scopeTable = []scopeRow{
 	{pkg: "deploy", lock: true, block: true, release: true},
 	{pkg: "faultsim", clock: true, leak: true, deter: true, lock: true, block: true, release: true},
 	{pkg: "filter", deter: true, lock: true, block: true, release: true},
+	{pkg: "filtersvc", leak: true, deter: true, lock: true, block: true, release: true},
 	{pkg: "gnutella", clock: true, leak: true, deter: true, lock: true, block: true, release: true, span: true},
 	{pkg: "guid", lock: true, block: true, release: true},
 	{pkg: "ipaddr", lock: true, block: true, release: true},
